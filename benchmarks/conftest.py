@@ -1,0 +1,43 @@
+"""Benchmark harness plumbing.
+
+Each ``benchmarks/test_*.py`` regenerates one table or figure of the paper
+(see DESIGN.md's experiment index). The regenerated rows are printed and
+persisted under ``results/``. Set ``REPRO_BENCH_QUICK=1`` to run the
+trimmed configurations.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+
+
+@pytest.fixture(scope="session")
+def quick():
+    return QUICK
+
+
+@pytest.fixture
+def record_figure(capsys):
+    """Print a FigureResult and persist it under results/."""
+
+    def _record(result):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        name = result.name.replace(":", "_")
+        (RESULTS_DIR / f"{name}.txt").write_text(result.text + "\n")
+        with capsys.disabled():
+            print()
+            print(result.text)
+        return result
+
+    return _record
+
+
+def regenerate(benchmark, fn, record, **kw):
+    """Run a figure driver once under pytest-benchmark accounting."""
+    result = benchmark.pedantic(lambda: fn(**kw), rounds=1, iterations=1)
+    return record(result)

@@ -1,0 +1,45 @@
+"""Ablation — pipeline chunk size (SSIII-B).
+
+Pipelining is XHC's answer to hierarchy-induced serialization: chunks too
+large forfeit the overlap between levels, chunks too small drown in
+per-chunk flag traffic. The sweet spot sits in the tens of KiB for MB-scale
+messages.
+"""
+
+from repro.bench.figures import FigureResult
+from repro.bench.osu import run_collective
+from repro.bench.report import render_rows
+from repro.xhc import Xhc
+
+from conftest import QUICK, regenerate
+
+CHUNKS = (2048, 16384, 65536, 1 << 20)
+SIZE = 1 << 20
+
+
+def _run(quick=False):
+    rows = []
+    data = {}
+    iters = 3 if quick else 5
+    for chunk in CHUNKS:
+        # Both sockets must participate: the pipeline's payoff is hiding
+        # the cross-socket level behind the others.
+        lat = run_collective(
+            "bcast", "epyc-2p", 64,
+            lambda c=chunk: Xhc(chunk_size=c), SIZE,
+            warmup=1, iters=iters)
+        rows.append([chunk, SIZE, lat * 1e6])
+        data[chunk] = lat
+    text = render_rows("Ablation — XHC pipeline chunk size "
+                       "(1 MB Bcast, Epyc-2P)",
+                       ["chunk", "msg_size", "latency_us"], rows)
+    return FigureResult("ablation_chunk", text, data)
+
+
+def test_ablation_chunk(benchmark, record_figure):
+    res = regenerate(benchmark, _run, record_figure, quick=QUICK)
+    d = res.data
+    # No pipelining at all (chunk == message) loses to a mid-size chunk.
+    assert d[1 << 20] > d[16384]
+    # Pathologically small chunks pay per-chunk control overhead.
+    assert d[2048] > d[16384]

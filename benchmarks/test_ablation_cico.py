@@ -1,0 +1,49 @@
+"""Ablation — the CICO small-message path (SSIII-D).
+
+Below the threshold the copy-in-copy-out path avoids XPMEM's registration
+cache lookup and attachment machinery; above it, the extra copy loses to
+single-copy. Disabling the path (threshold=0) must hurt small messages and
+change nothing for large ones.
+"""
+
+from repro.bench.figures import FigureResult
+from repro.bench.osu import run_collective
+from repro.bench.report import render_rows
+from repro.xhc import Xhc
+
+from conftest import QUICK, regenerate
+
+SIZES = (4, 256, 1024, 65536, 1 << 20)
+
+
+def _run(quick=False):
+    rows = []
+    data = {}
+    iters = 3 if quick else 6
+    for threshold, label in ((0, "disabled"), (1024, "default-1K"),
+                             (16384, "oversized-16K")):
+        for size in SIZES:
+            lat = run_collective(
+                "bcast", "epyc-1p", 32,
+                lambda t=threshold: Xhc(cico_threshold=t), size,
+                warmup=1, iters=iters)
+            rows.append([label, size, lat * 1e6])
+            data[(label, size)] = lat
+    text = render_rows("Ablation — XHC CICO threshold (Bcast, Epyc-1P)",
+                       ["threshold", "msg_size", "latency_us"], rows)
+    return FigureResult("ablation_cico", text, data)
+
+
+def test_ablation_cico(benchmark, record_figure):
+    res = regenerate(benchmark, _run, record_figure, quick=QUICK)
+    d = res.data
+    # Small messages suffer without the CICO path (regcache lookups and
+    # mapping overheads on a 4-byte payload).
+    assert d[("disabled", 4)] > d[("default-1K", 4)]
+    # Large messages are unaffected by the threshold choice.
+    big = 1 << 20
+    assert abs(d[("disabled", big)] - d[("default-1K", big)]) \
+        / d[("default-1K", big)] < 0.05
+    # An oversized threshold drags medium messages through double copies
+    # — it must not beat the default at 64K by any real margin.
+    assert d[("oversized-16K", 65536)] > d[("default-1K", 65536)] * 0.9

@@ -1,0 +1,51 @@
+"""Ablation — hierarchy sensitivity (SSIII-A, Fig. 2's knob).
+
+The ``numa+socket`` sensitivity is the paper's default; this sweep shows
+what each level buys on the dual-socket machine, and that adding the LLC
+level is a wash-to-win for large fan-outs (one more level of locality, one
+more level of serialization).
+"""
+
+from repro.bench.figures import FigureResult
+from repro.bench.osu import run_collective
+from repro.bench.report import render_rows
+from repro.xhc import Xhc
+
+from conftest import QUICK, regenerate
+
+SENSITIVITIES = ("flat", "numa", "numa+socket", "l3+numa+socket")
+SIZES = (4, 65536, 1 << 20)
+
+
+def _run(quick=False):
+    rows = []
+    data = {}
+    iters = 3 if quick else 6
+    nranks = 32 if quick else 64
+    for sens in SENSITIVITIES:
+        for size in SIZES:
+            lat = run_collective(
+                "bcast", "epyc-2p", nranks,
+                lambda s=sens: Xhc(hierarchy=s), size,
+                warmup=1, iters=iters)
+            rows.append([sens, size, lat * 1e6])
+            data[(sens, size)] = lat
+    text = render_rows("Ablation — XHC hierarchy sensitivity "
+                       "(Bcast, Epyc-2P)",
+                       ["sensitivity", "msg_size", "latency_us"], rows)
+    return FigureResult("ablation_hierarchy", text, data)
+
+
+def test_ablation_hierarchy(benchmark, record_figure):
+    res = regenerate(benchmark, _run, record_figure, quick=QUICK)
+    d = res.data
+    big = 1 << 20
+    # Topology awareness pays at large sizes: flat's single-source fan-out
+    # congests (Fig. 1b's lesson).
+    assert d[("numa+socket", big)] < d[("flat", big)] / 2
+    # NUMA-only grouping already captures most of the benefit on this
+    # machine; the socket level refines it.
+    assert d[("numa", big)] < d[("flat", big)]
+    # The LLC level is within a modest factor either way (no pathological
+    # regression from the extra level).
+    assert d[("l3+numa+socket", big)] < d[("numa+socket", big)] * 1.5

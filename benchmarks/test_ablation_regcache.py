@@ -1,0 +1,43 @@
+"""Ablation — the registration cache (SSIII-C, Fig. 3's dashed series).
+
+XPMEM without mapping reuse repays the attach cost (syscall + page
+faults) on every operation; the paper shows this renders it worse than
+every alternative mechanism.
+"""
+
+from repro.bench.figures import FigureResult
+from repro.bench.osu import run_collective
+from repro.bench.report import render_rows
+from repro.shmem.smsc import SmscConfig
+from repro.bench.components import COMPONENTS
+
+from conftest import QUICK, regenerate
+
+SIZES = (65536, 1 << 20)
+
+
+def _run(quick=False):
+    rows = []
+    data = {}
+    iters = 3 if quick else 6
+    for label, cfg in (("regcache", SmscConfig(mechanism="xpmem")),
+                       ("no-regcache",
+                        SmscConfig(mechanism="xpmem", use_regcache=False))):
+        for size in SIZES:
+            lat = run_collective(
+                "bcast", "epyc-1p", 32, COMPONENTS["xhc-tree"], size,
+                warmup=1, iters=iters, smsc=cfg)
+            rows.append([label, size, lat * 1e6])
+            data[(label, size)] = lat
+    text = render_rows(
+        "Ablation — XPMEM registration cache (XHC Bcast, Epyc-1P)",
+        ["config", "msg_size", "latency_us"], rows)
+    return FigureResult("ablation_regcache", text, data)
+
+
+def test_ablation_regcache(benchmark, record_figure):
+    res = regenerate(benchmark, _run, record_figure, quick=QUICK)
+    d = res.data
+    for size in SIZES:
+        # Attach + page faults on every op vs amortized once.
+        assert d[("no-regcache", size)] > d[("regcache", size)] * 1.5, size

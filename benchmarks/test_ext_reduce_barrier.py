@@ -1,0 +1,47 @@
+"""Extension — the Reduce and Barrier primitives (SSVII's ongoing work).
+
+The paper's conclusions name Reduce and Barrier as the primitives under
+development; both are implemented here. This target records how they stack
+up against the baselines.
+"""
+
+from repro.bench.figures import FigureResult
+from repro.bench.osu import run_collective
+from repro.bench.report import render_rows
+from repro.bench.components import COMPONENTS
+
+from conftest import QUICK, regenerate
+
+
+def _run(quick=False):
+    nranks = 32 if quick else 64
+    iters = 3 if quick else 5
+    rows = []
+    data = {}
+    for comp in ("tuned", "ucc", "xbrc", "xhc-tree"):
+        for size in (64, 65536):
+            lat = run_collective("reduce", "epyc-2p", nranks,
+                                 COMPONENTS[comp], size,
+                                 warmup=1, iters=iters)
+            rows.append(["reduce", size, comp, lat * 1e6])
+            data[("reduce", size, comp)] = lat
+    for comp in ("tuned", "sm", "ucc", "xhc-tree"):
+        lat = run_collective("barrier", "epyc-2p", nranks,
+                             COMPONENTS[comp], 4, warmup=1, iters=iters)
+        rows.append(["barrier", "-", comp, lat * 1e6])
+        data[("barrier", comp)] = lat
+    text = render_rows("Extension — Reduce and Barrier (Epyc-2P)",
+                       ["collective", "size", "component", "latency_us"],
+                       rows)
+    return FigureResult("ext_reduce_barrier", text, data)
+
+
+def test_ext_reduce_barrier(benchmark, record_figure):
+    res = regenerate(benchmark, _run, record_figure, quick=QUICK)
+    d = res.data
+    # Large reduce: hierarchical single-copy ahead of p2p trees and the
+    # flat XBRC.
+    assert d[("reduce", 65536, "xhc-tree")] < d[("reduce", 65536, "tuned")]
+    assert d[("reduce", 65536, "xhc-tree")] < d[("reduce", 65536, "xbrc")]
+    # Barrier: single-writer hierarchical flags beat the atomics-based sm.
+    assert d[("barrier", "xhc-tree")] < d[("barrier", "sm")]

@@ -1,0 +1,24 @@
+"""Fig. 10 — flag cache-line sharing schemes (Epyc-1P)."""
+
+import numpy as np
+
+from repro.bench.figures import fig10_cacheline
+
+from conftest import QUICK, regenerate
+
+
+def test_fig10(benchmark, record_figure):
+    res = regenerate(benchmark, fig10_cacheline, record_figure, quick=QUICK)
+    d = res.data
+
+    def mean(label):
+        series = d[label]
+        return float(np.mean([series.latency[s] for s in series.latency]))
+
+    # Flags sharing a line: the flat fan-out rides the LLC assist.
+    # Separated lines: every member's fetch queues at the leader.
+    assert mean("flat/separate") > mean("flat/shared") * 1.1
+    # The hierarchical tree's explicit flag routing leaves little room for
+    # the implicit assist: both layouts perform alike.
+    assert abs(mean("tree/separate") - mean("tree/shared")) \
+        / mean("tree/shared") < 0.2

@@ -1,0 +1,25 @@
+"""Fig. 13 — miniAMR with default and aggressive refinement configs."""
+
+import pytest
+
+from repro.bench.figures import fig13_miniamr
+
+from conftest import QUICK, regenerate
+
+
+@pytest.mark.parametrize("config", ["default", "refine-1k"])
+def test_fig13(benchmark, record_figure, config):
+    res = regenerate(benchmark, fig13_miniamr, record_figure, config=config,
+                     quick=QUICK)
+    d = res.data
+    systems = {s for s, _ in d}
+    for system in systems:
+        total = {c: d[(system, c)].total_time for (s, c) in d if s == system}
+        assert total["xhc-tree"] <= min(total.values()) * 1.05, system
+        # XBRC struggles, especially in the allreduce-bound config.
+        assert total["xbrc"] > total["xhc-tree"], system
+    if config == "refine-1k":
+        # The aggressive config amplifies the collective's weight.
+        for system in systems:
+            frac = d[(system, "xhc-tree")].mpi_fraction
+            assert frac > 0.1, system

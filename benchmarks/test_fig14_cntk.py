@@ -1,0 +1,23 @@
+"""Fig. 14 — CNTK (AlexNet-scale SGD) training step."""
+
+from repro.bench.figures import fig14_cntk
+
+from conftest import QUICK, regenerate
+
+
+def test_fig14(benchmark, record_figure):
+    res = regenerate(benchmark, fig14_cntk, record_figure, quick=QUICK)
+    d = res.data
+    systems = {s for s, _ in d}
+    for system in systems:
+        total = {c: d[(system, c)].total_time for (s, c) in d if s == system}
+        coll = {c: d[(system, c)].collective_time
+                for (s, c) in d if s == system}
+        # Large-gradient allreduce: XHC-tree ahead of the flat single-copy
+        # schemes; end-to-end within the leading group. (Our tuned ring
+        # pipelines more perfectly than the real stack at huge payloads —
+        # see EXPERIMENTS.md — so we require XHC within 1.5x of the best
+        # rather than strictly first.)
+        assert coll["xhc-tree"] < coll["xbrc"], system
+        assert coll["xhc-tree"] < coll["xhc-flat"], system
+        assert total["xhc-tree"] <= min(total.values()) * 1.5, system

@@ -1,0 +1,19 @@
+"""Fig. 1a — one-way latency across topological domains."""
+
+from repro.bench.figures import fig1a_domains
+
+from conftest import QUICK, regenerate
+
+
+def test_fig1a(benchmark, record_figure):
+    res = regenerate(benchmark, fig1a_domains, record_figure, quick=QUICK)
+    d = res.data
+    # Epycs: strictly increasing with distance.
+    for system in ("epyc-1p", "epyc-2p"):
+        assert d[(system, "cache-local")] < d[(system, "intra-numa")] \
+            < d[(system, "cross-numa")]
+    assert d[("epyc-2p", "cross-numa")] < d[("epyc-2p", "cross-socket")]
+    # ARM-N1: intra == cross NUMA (within 5%), big cross-socket jump.
+    assert abs(d[("arm-n1", "cross-numa")] / d[("arm-n1", "intra-numa")]
+               - 1) < 0.05
+    assert d[("arm-n1", "cross-socket")] > d[("arm-n1", "intra-numa")] * 1.5

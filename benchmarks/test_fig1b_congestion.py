@@ -1,0 +1,15 @@
+"""Fig. 1b — memory-copy congestion: flat tree vs NUMA-wise hierarchy."""
+
+from repro.bench.figures import fig1b_congestion
+
+from conftest import QUICK, regenerate
+
+
+def test_fig1b(benchmark, record_figure):
+    res = regenerate(benchmark, fig1b_congestion, record_figure, quick=QUICK)
+    d = res.data
+    hi = 32
+    lo = 8
+    assert d[("flat", hi)] / d[("flat", lo)] > 3
+    assert d[("hierarchical", hi)] / d[("hierarchical", lo)] < 2
+    assert d[("flat", hi)] > d[("hierarchical", hi)] * 2

@@ -1,0 +1,31 @@
+"""Fig. 3 — p2p and Broadcast latency per single-copy mechanism."""
+
+from repro.bench.figures import FIG3_SIZES, fig3_mechanisms
+
+from conftest import QUICK, regenerate
+
+
+def test_fig3(benchmark, record_figure):
+    res = regenerate(benchmark, fig3_mechanisms, record_figure, quick=QUICK)
+    sizes = sorted(res.data[("p2p", "xpmem")].latency)
+    big = sizes[-1]
+    for test in ("p2p", "bcast"):
+        xpmem = res.data[(test, "xpmem")].latency[big]
+        knem = res.data[(test, "knem")].latency[big]
+        cma = res.data[(test, "cma")].latency[big]
+        cico = res.data[(test, "cico")].latency[big]
+        nocache = res.data[(test, "xpmem-nocache")].latency[big]
+        # The paper's orderings that our model reproduces at the largest
+        # size: xpmem beats the other single-copy mechanisms and the CICO
+        # fallback, and xpmem without its registration cache is worse
+        # than the alternatives. (The CICO gap is smaller than the
+        # paper's 9.5x — see EXPERIMENTS.md: our staging pipeline
+        # overlaps the two copies nearly perfectly, which real FIFO-based
+        # BTLs do not achieve; at individual mid sizes CICO can even tie.)
+        assert xpmem < knem < cma, test
+        assert xpmem < cico, test
+        assert nocache > knem, test
+    # The kernel-assisted ordering holds across the whole sweep.
+    for size in sizes:
+        assert res.data[("bcast", "knem")].latency[size] \
+            < res.data[("bcast", "cma")].latency[size], size

@@ -1,0 +1,20 @@
+"""Fig. 4 — atomics vs single-writer synchronization at scale (ARM-N1)."""
+
+from repro.bench.figures import fig4_atomics
+
+from conftest import QUICK, regenerate
+
+
+def test_fig4(benchmark, record_figure):
+    res = regenerate(benchmark, fig4_atomics, record_figure, quick=QUICK)
+    d = res.data
+    top = 160
+    ratio_top = d[("atomics", top)] / d[("single-writer", top)]
+    ratio_low = d[("atomics", 10)] / d[("single-writer", 10)]
+    # Paper: 23x at full occupancy; the shape requirement is a drastic,
+    # monotonically growing divergence.
+    assert ratio_top > 8
+    assert ratio_top > 3 * ratio_low
+    counts = sorted({n for (_, n) in d})
+    atomics = [d[("atomics", n)] for n in counts]
+    assert atomics == sorted(atomics)

@@ -1,0 +1,46 @@
+"""Fig. 8 — MPI Broadcast comparison on all three systems."""
+
+import pytest
+
+from repro.bench.figures import fig8_bcast
+
+from conftest import QUICK, regenerate
+
+
+@pytest.mark.parametrize("system", ["epyc-1p", "epyc-2p", "arm-n1"])
+def test_fig8(benchmark, record_figure, system):
+    res = regenerate(benchmark, fig8_bcast, record_figure, system=system,
+                     quick=QUICK)
+    d = res.data
+
+    def lat(comp, size):
+        return d[comp].latency[size]
+
+    small, mid = 4, 65536
+    # XHC variants beat the point-to-point and shared-memory stacks for
+    # small messages.
+    assert lat("xhc-tree", small) < lat("tuned", small)
+    assert lat("xhc-tree", small) < lat("ucc", small)
+    assert lat("xhc-tree", small) < lat("sm", small) / 5
+    if system == "arm-n1":
+        # No LLC groups: the flat variant collapses, the tree does not.
+        # (Quick mode runs only 64 of the 160 ranks, softening the fan-in.)
+        factor = 1.5 if QUICK else 3
+        assert lat("xhc-flat", small) > lat("xhc-tree", small) * factor
+    else:
+        # LLC-assisted flag propagation keeps flat close to tree (the
+        # paper even has it slightly ahead; our residual flat overhead is
+        # documented in EXPERIMENTS.md) — far from ARM's collapse.
+        assert lat("xhc-flat", small) < lat("xhc-tree", small) * 3
+
+    # Medium-size single-copy + hierarchy beats every CICO scheme.
+    assert lat("xhc-tree", mid) < lat("smhc-flat", mid)
+    assert lat("xhc-tree", mid) < lat("sm", mid)
+
+    big = 1 << 20
+    # Large messages: far ahead of the shared-memory copy schemes (the
+    # single-copy advantage), and within the tuned/ucc class.
+    assert lat("xhc-tree", big) < lat("smhc-flat", big) / 2
+    assert lat("xhc-tree", big) < lat("sm", big) / 3
+    assert lat("xhc-tree", big) < 2.5 * min(lat("tuned", big),
+                                            lat("ucc", big))

@@ -1,0 +1,14 @@
+"""Table I — evaluation systems."""
+
+from repro.bench.figures import table1_systems
+
+from conftest import regenerate
+
+
+def test_table1(benchmark, record_figure):
+    res = regenerate(benchmark, table1_systems, record_figure)
+    rows = res.data["rows"]
+    assert [r[0] for r in rows] == ["Epyc-1P", "Epyc-2P", "ARM-N1"]
+    assert [r[3] for r in rows] == [32, 64, 160]
+    assert [r[4] for r in rows] == [4, 8, 8]
+    assert [r[5] for r in rows] == [1, 2, 2]

@@ -1,0 +1,29 @@
+"""Table II — number and distance of exchanged messages (Epyc-2P)."""
+
+from repro.bench.figures import table2_message_counts
+
+from conftest import QUICK, regenerate
+
+
+def test_table2(benchmark, record_figure):
+    res = regenerate(benchmark, table2_message_counts, record_figure,
+                     quick=QUICK)
+    d = res.data
+
+    # XHC-tree's pattern is invariant and matches the paper exactly:
+    # 1 inter-socket, 6 inter-NUMA, 56 intra-NUMA messages at 64 ranks.
+    for scenario in ("map-core", "map-numa", "root=10"):
+        assert d[("xhc-tree", scenario)] == {
+            "inter-socket": 1, "inter-numa": 6, "intra-numa": 56,
+        }, scenario
+
+    # tuned's pattern degrades away from the friendly layout/root.
+    base = d[("tuned", "map-core")]
+    numa = d[("tuned", "map-numa")]
+    root10 = d[("tuned", "root=10")]
+    assert numa["inter-socket"] > base["inter-socket"]
+    assert numa["inter-numa"] > base["inter-numa"]
+    assert numa["intra-numa"] < base["intra-numa"]
+    assert root10["inter-socket"] >= base["inter-socket"]
+    total = sum(base.values())
+    assert sum(numa.values()) == total == 63  # one message per non-root

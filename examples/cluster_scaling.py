@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Inter-node hierarchies (the paper's SSVII direction).
+
+Scales a broadcast across a simulated cluster of single-socket Epyc nodes
+joined by an RDMA-class fabric, comparing XHC's node-aware hierarchy (the
+``socket`` sensitivity level doubles as the node boundary) against a flat
+single-source fan-out and the p2p chain.
+
+Run:  python examples/cluster_scaling.py
+"""
+
+from repro.bench.osu import run_collective
+from repro.bench.report import render_rows
+from repro.cluster import build_cluster
+from repro.mpi.colls import Tuned
+from repro.xhc import Xhc
+
+SIZE = 1 << 20
+
+
+def main() -> None:
+    rows = []
+    for n_nodes in (2, 4, 8):
+        for label, factory in (
+            ("xhc node-aware", lambda: Xhc()),
+            ("xhc flat", lambda: Xhc(hierarchy="flat")),
+            ("tuned chain", Tuned),
+        ):
+            node, topo, _ = build_cluster(n_nodes=n_nodes)
+            lat = run_collective("bcast", "cluster", topo.n_cores, factory,
+                                 SIZE, warmup=1, iters=3, node=node)
+            rows.append([n_nodes, topo.n_cores, label, lat * 1e6])
+    print(render_rows(
+        "1 MB broadcast across a cluster of 32-core nodes (us)",
+        ["nodes", "ranks", "scheme", "latency_us"], rows))
+    print(
+        "\nThe node-aware hierarchy confines fan-out inside each node "
+        "(one RDMA get\nper node crosses the fabric) and beats the flat "
+        "single-source fan-out by\nan order of magnitude, scaling with "
+        "node count. The rank-ordered chain\nremains strong under this "
+        "friendly sequential mapping — its hops are\nneighbour-local and "
+        "pipeline perfectly — which is exactly why the paper's\n"
+        "future-work direction pairs intra-node XHC with dedicated "
+        "inter-node\nalgorithms (HAN/UCC integration, SSVII) rather than "
+        "reusing the flat\ntop-level group."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Compare collectives stacks on one machine (a mini Fig. 8 / Fig. 11).
+
+Sweeps Broadcast and Allreduce latency across all the frameworks the paper
+evaluates — OpenMPI-style `tuned` and `sm`, the `ucc` library, the SMHC and
+XBRC research prototypes, and XHC in flat and hierarchical flavors — using
+the modified (cache-realistic) OSU methodology.
+
+Run:  python examples/compare_components.py [system]
+      system in {epyc-1p, epyc-2p, arm-n1}; default epyc-1p
+"""
+
+import sys
+
+from repro.bench import render_series_table
+from repro.bench.components import COMPONENTS, component_names
+from repro.bench.osu import osu_allreduce, osu_bcast
+from repro.topology import get_system
+
+SIZES = (4, 256, 4096, 65536, 1 << 20)
+
+
+def main() -> None:
+    system = sys.argv[1] if len(sys.argv) > 1 else "epyc-1p"
+    nranks = get_system(system).n_cores
+    print(f"System: {system}, {nranks} ranks, sizes {SIZES}")
+    print("(latencies in microseconds, simulated; lower is better)\n")
+
+    bcast = [
+        osu_bcast(system, nranks, COMPONENTS[name], sizes=SIZES, label=name,
+                  warmup=1, iters=3)
+        for name in component_names("bcast", system)
+    ]
+    print(render_series_table(f"MPI_Bcast on {system}", bcast))
+    print()
+
+    allreduce = [
+        osu_allreduce(system, nranks, COMPONENTS[name], sizes=SIZES,
+                      label=name, warmup=1, iters=3)
+        for name in component_names("allreduce", system)
+    ]
+    print(render_series_table(f"MPI_Allreduce on {system}", allreduce))
+
+    tree = next(s for s in bcast if s.label == "xhc-tree")
+    tuned = next(s for s in bcast if s.label == "tuned")
+    print(f"\nXHC-tree vs tuned at 64K bcast: "
+          f"{tuned.us(65536) / tree.us(65536):.2f}x")
+
+
+if __name__ == "__main__":
+    main()

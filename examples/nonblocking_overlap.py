@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Non-blocking collectives: when does Iallreduce actually help?
+
+The paper notes that CNTK calls MPI_Iallreduce but waits on it
+immediately, so swapping in the blocking Allreduce loses nothing
+(SSV-D3). This example shows all three call patterns on the simulator:
+
+* blocking       — allreduce, then compute;
+* wait-now       — iallreduce + immediate wait (CNTK's actual pattern);
+* overlapped     — iallreduce, compute, then wait.
+
+Run:  python examples/nonblocking_overlap.py
+"""
+
+from repro.mpi import FLOAT, SUM, World
+from repro.node import Node
+from repro.sim import primitives as P
+from repro.topology import get_system
+from repro.xhc import Xhc
+
+GRAD = 2 << 20
+STEPS = 4
+COMPUTE = 2e-3
+
+
+def epoch(mode: str) -> float:
+    node = Node(get_system("epyc-2p"), data_movement=False)
+    world = World(node, 64)
+    comm = world.communicator(Xhc())
+
+    def program(comm_, ctx):
+        s = ctx.alloc("s", GRAD)
+        r = ctx.alloc("r", GRAD)
+        yield from comm_.allreduce(ctx, s.whole(), r.whole(), SUM, FLOAT)
+        for _ in range(STEPS):
+            if mode == "blocking":
+                yield from comm_.allreduce(ctx, s.whole(), r.whole(),
+                                           SUM, FLOAT)
+                yield P.Compute(COMPUTE)
+            elif mode == "wait-now":
+                req = comm_.iallreduce(ctx, s.whole(), r.whole(), SUM, FLOAT)
+                yield from req.wait()
+                yield P.Compute(COMPUTE)
+            else:
+                req = comm_.iallreduce(ctx, s.whole(), r.whole(), SUM, FLOAT)
+                yield P.Compute(COMPUTE)    # overlapped with the reduction
+                yield from req.wait()
+
+    procs = comm.run(program)
+    return max(p.finish_time for p in procs)
+
+
+def main() -> None:
+    print(f"{STEPS} steps of {GRAD >> 20} MB Allreduce + "
+          f"{COMPUTE * 1e3:.0f} ms compute, 64 ranks on Epyc-2P\n")
+    base = None
+    for mode in ("blocking", "wait-now", "overlapped"):
+        t = epoch(mode)
+        base = base or t
+        print(f"{mode:11}  {t * 1e3:6.2f} ms   ({base / t:.2f}x)")
+    print("\n'wait-now' matches 'blocking' — the paper's substitution is "
+          "free; real overlap requires deferring the wait.")
+
+
+if __name__ == "__main__":
+    main()

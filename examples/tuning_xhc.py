@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Tune XHC's runtime knobs (the MCA-parameter surface, SSIII-B/D).
+
+Sweeps the pipeline chunk size and the CICO threshold and shows their
+effect — the paper notes that per-level chunk tuning fixes the 128K-1M
+allreduce dip (SSV-D2), and that the CICO path's benefit is confined to
+small messages (SSIII-D).
+
+Run:  python examples/tuning_xhc.py
+"""
+
+from repro.bench.osu import run_collective
+from repro.bench.report import render_rows
+from repro.xhc import Xhc
+
+
+def sweep_chunks():
+    rows = []
+    for chunk in (4096, 16384, 65536, 262144):
+        for size in (65536, 1 << 20):
+            lat = run_collective(
+                "allreduce", "epyc-1p", 32,
+                lambda c=chunk: Xhc(chunk_size=c), size,
+                warmup=1, iters=3)
+            rows.append([chunk, size, lat * 1e6])
+    print(render_rows("Pipeline chunk size vs Allreduce latency (Epyc-1P)",
+                      ["chunk", "msg_size", "latency_us"], rows))
+    print()
+
+
+def sweep_per_level_chunks():
+    rows = []
+    for label, chunks in (("uniform 16K", 16384),
+                          ("inner-small (8K,32K,64K)", (8192, 32768, 65536)),
+                          ("inner-large (64K,16K,8K)", (65536, 16384, 8192))):
+        lat = run_collective(
+            "bcast", "epyc-2p", 64,
+            lambda c=chunks: Xhc(chunk_size=c), 1 << 20,
+            warmup=1, iters=3)
+        rows.append([label, lat * 1e6])
+    print(render_rows("Per-level chunk sizes vs 1 MB Bcast (Epyc-2P)",
+                      ["configuration", "latency_us"], rows))
+    print()
+
+
+def sweep_threshold():
+    rows = []
+    for threshold in (256, 1024, 4096, 16384):
+        for size in (512, 2048, 8192):
+            lat = run_collective(
+                "bcast", "epyc-1p", 32,
+                lambda t=threshold: Xhc(cico_threshold=t), size,
+                warmup=1, iters=4)
+            path = "cico" if size <= threshold else "single-copy"
+            rows.append([threshold, size, path, lat * 1e6])
+    print(render_rows("CICO threshold vs small-message Bcast (Epyc-1P)",
+                      ["threshold", "msg_size", "path", "latency_us"], rows))
+
+
+def main() -> None:
+    sweep_chunks()
+    sweep_per_level_chunks()
+    sweep_threshold()
+
+
+if __name__ == "__main__":
+    main()

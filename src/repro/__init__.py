@@ -1,0 +1,32 @@
+"""Reproduction of "A framework for hierarchical single-copy MPI
+collectives on multicore nodes" (Katevenis, Ploumidis, Marazakis —
+IEEE CLUSTER 2022) on a deterministic multicore-node simulator.
+
+Front-door API::
+
+    from repro import Node, World, Xhc, get_system
+
+    node = Node(get_system("epyc-2p"))
+    world = World(node, 64)
+    comm = world.communicator(Xhc())
+
+See README.md for the architecture overview, DESIGN.md for the experiment
+index, and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from .node import Node
+from .topology import get_system, build_symmetric
+from .mpi import World
+from .xhc import Xhc, XhcConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Node",
+    "World",
+    "Xhc",
+    "XhcConfig",
+    "get_system",
+    "build_symmetric",
+    "__version__",
+]

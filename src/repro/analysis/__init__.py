@@ -1,0 +1,18 @@
+"""Analytical cross-checks for the simulator.
+
+Closed-form LogGP-style estimates derived *directly from the machine
+parameters*, used to sanity-check the event simulation: if simulated times
+drift far from first-principles arithmetic on the same constants, a model
+bug is more likely than a discovery. `tests/test_analysis.py` holds the
+agreement bands.
+"""
+
+from .loggp import (LogGPParams, chain_bcast_estimate, flat_bcast_estimate,
+                    hierarchical_bcast_estimate, loggp_of, p2p_estimate,
+                    ring_allreduce_estimate)
+
+__all__ = [
+    "LogGPParams", "loggp_of", "p2p_estimate", "flat_bcast_estimate",
+    "chain_bcast_estimate", "hierarchical_bcast_estimate",
+    "ring_allreduce_estimate",
+]

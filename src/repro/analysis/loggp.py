@@ -1,0 +1,116 @@
+"""LogGP-style closed forms over the machine model.
+
+For a transfer at distance class ``d`` the simulator charges roughly
+``L_d + m * G_d`` (latency plus gap-per-byte), with shared resources
+capping aggregate throughput. The estimators below apply the same
+constants analytically. They deliberately ignore second-order effects the
+simulator *does* capture (cache reuse, port queueing, pipeline fill skew),
+so agreement is expected within a band, not exactly — see
+``tests/test_analysis.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..memory.model import MachineModel
+from ..topology.distance import Distance, classify_distance
+from ..topology.objects import Topology
+
+
+@dataclass(frozen=True)
+class LogGPParams:
+    """Latency (s) and gap (s/byte) for one distance class."""
+
+    L: float
+    G: float
+
+    def transfer(self, nbytes: int) -> float:
+        return self.L + nbytes * self.G
+
+
+def loggp_of(model: MachineModel, dist: Distance) -> LogGPParams:
+    return LogGPParams(L=model.lat[dist], G=1.0 / model.bw[dist])
+
+
+def _pair_params(topo: Topology, model: MachineModel,
+                 core_a: int, core_b: int) -> LogGPParams:
+    return loggp_of(model, classify_distance(topo, core_a, core_b))
+
+
+def p2p_estimate(topo: Topology, model: MachineModel, core_a: int,
+                 core_b: int, nbytes: int) -> float:
+    """One-way single-copy transfer between two pinned cores."""
+    return _pair_params(topo, model, core_a, core_b).transfer(nbytes)
+
+
+def flat_bcast_estimate(topo: Topology, model: MachineModel,
+                        cores: list[int], root_core: int,
+                        nbytes: int) -> float:
+    """Flat single-source fan-out: the root's serving point caps the
+    aggregate; each reader also pays its own distance latency."""
+    readers = [c for c in cores if c != root_core]
+    if not readers:
+        return 0.0
+    # Aggregate bytes through the root's serving resources.
+    serve_bw = min(model.llc_port_bw or math.inf,
+                   model.numa_mem_bw,
+                   model.slc_bw or math.inf)
+    aggregate = len(readers) * nbytes / serve_bw
+    per_reader = max(
+        _pair_params(topo, model, root_core, c).transfer(nbytes)
+        for c in readers
+    )
+    return max(aggregate, per_reader)
+
+
+def chain_bcast_estimate(topo: Topology, model: MachineModel,
+                         cores: list[int], nbytes: int,
+                         segment: int) -> float:
+    """Store-and-forward chain with segment pipelining: fill along the
+    chain plus the drain of the remaining segments at the slowest hop."""
+    if len(cores) < 2:
+        return 0.0
+    hops = [
+        _pair_params(topo, model, a, b)
+        for a, b in zip(cores, cores[1:])
+    ]
+    nseg = max(1, math.ceil(nbytes / segment))
+    seg = min(segment, nbytes)
+    fill = sum(h.transfer(seg) for h in hops)
+    slowest = max(h.transfer(seg) for h in hops)
+    return fill + (nseg - 1) * slowest
+
+
+def hierarchical_bcast_estimate(topo: Topology, model: MachineModel,
+                                level_dists: list[Distance], nbytes: int,
+                                chunk: int) -> float:
+    """Pipelined multi-level pull: the slowest level streams the whole
+    message; the others contribute one chunk of fill each."""
+    if not level_dists:
+        return 0.0
+    params = [loggp_of(model, d) for d in level_dists]
+    nchunk = max(1, math.ceil(nbytes / chunk))
+    ch = min(chunk, nbytes)
+    stream = max(p.L * nchunk + nbytes * p.G for p in params)
+    fill = sum(p.transfer(ch) for p in params) - max(
+        p.transfer(ch) for p in params)
+    return stream + fill
+
+
+def ring_allreduce_estimate(topo: Topology, model: MachineModel,
+                            cores: list[int], nbytes: int,
+                            overhead_per_step: float = 0.0) -> float:
+    """Ring reduce-scatter + allgather: 2(N-1) neighbour steps of one
+    slice each, paced by the slowest ring hop."""
+    n = len(cores)
+    if n < 2:
+        return 0.0
+    slice_bytes = nbytes / n
+    hop = max(
+        _pair_params(topo, model, cores[i], cores[(i + 1) % n])
+        .transfer(slice_bytes)
+        for i in range(n)
+    )
+    return 2 * (n - 1) * (hop + overhead_per_step)

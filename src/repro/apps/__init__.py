@@ -1,0 +1,21 @@
+"""Application skeletons for the paper's end-to-end evaluation (SSV-D3).
+
+Each skeleton reproduces its application's compute/communication mix on the
+simulated MPI — the two properties the paper's app results depend on:
+the fraction of time spent inside the supported collective, and the
+message-size distribution of its calls.
+
+* :mod:`pisvm`   — parallel SVM training: Broadcast-dominated MPI time.
+* :mod:`miniamr` — adaptive mesh refinement: many small Allreduces
+  (tens of bytes with the default config, ~1 KB with aggressive
+  refinement).
+* :mod:`cntk`    — distributed SGD (AlexNet-like): large gradient
+  Allreduces each minibatch (the paper replaces Iallreduce with the
+  blocking Allreduce after confirming no performance loss).
+"""
+
+from .pisvm import run_pisvm
+from .miniamr import run_miniamr
+from .cntk import run_cntk
+
+__all__ = ["run_pisvm", "run_miniamr", "run_cntk"]

@@ -1,0 +1,61 @@
+"""Shared plumbing for the application skeletons."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..mpi import World
+from ..node import Node
+from ..shmem.smsc import SmscConfig
+from ..topology import get_system
+
+
+@dataclass
+class AppResult:
+    """Outcome of one application run."""
+
+    system: str
+    nranks: int
+    component: str
+    total_time: float          # seconds, slowest rank
+    collective_time: float     # mean per-rank time inside collectives
+    iterations: int
+
+    @property
+    def mpi_fraction(self) -> float:
+        return self.collective_time / self.total_time if self.total_time else 0.0
+
+
+def run_app(
+    system: str,
+    nranks: int | None,
+    component_factory: Callable[[], object],
+    component_name: str,
+    program_factory,
+    iterations: int,
+) -> AppResult:
+    """Run ``program_factory``'s rank program to completion and collect
+    timing. ``nranks=None`` uses every core of the machine (the paper runs
+    fully-occupied nodes).
+
+    The program may record a per-rank warm-up end timestamp in
+    ``warm_ends``; measurement then starts after the slowest rank's
+    warm-up, discounting one-time setup (XPMEM attachments amortize over
+    an application's lifetime, SSV-D3 — our skeletons run far fewer
+    iterations than the real apps, so they must not pay it up front)."""
+    topo = get_system(system)
+    n = topo.n_cores if nranks is None else nranks
+    node = Node(topo, data_movement=False)
+    world = World(node, n, smsc=SmscConfig())
+    comm = world.communicator(component_factory())
+    coll_times: list[float] = []
+    warm_ends: list[float] = []
+
+    procs = comm.run(program_factory(comm, coll_times, warm_ends))
+    start = max(warm_ends) if warm_ends else 0.0
+    total = max(p.finish_time or 0.0 for p in procs) - start
+    coll = sum(coll_times) / max(1, len(coll_times))
+    return AppResult(system=system, nranks=n, component=component_name,
+                     total_time=total, collective_time=coll,
+                     iterations=iterations)

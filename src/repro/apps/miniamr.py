@@ -1,0 +1,66 @@
+"""miniAMR skeleton: adaptive mesh refinement proxy app.
+
+miniAMR's recurring refine step is built on MPI_Allreduce over small
+payloads (SSV-A): grid-balance decisions, block counts, and error norms.
+The paper runs two configurations of the "expanding sphere" example
+(SSV-D3, Fig. 13):
+
+* default, 4 refinement levels, 400 timesteps — Allreduce calls average a
+  couple tens of bytes;
+* 1K refinement levels with refining every timestep, 1000 timesteps —
+  calls average ~1 KB and the Allreduce dominates much more.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..mpi import FLOAT, SUM
+from ..sim import primitives as P
+from ._base import AppResult, run_app
+
+CONFIGS = {
+    # timesteps scaled 10x down from the paper's runs; the compute /
+    # communication ratio per timestep is what matters.
+    "default": dict(timesteps=40, allreduce_bytes=40,
+                    allreduces_per_step=6, compute=500e-6),
+    "refine-1k": dict(timesteps=100, allreduce_bytes=1024,
+                      allreduces_per_step=10, compute=180e-6),
+}
+
+
+def run_miniamr(
+    system: str,
+    component_factory: Callable[[], object],
+    component_name: str = "?",
+    nranks: int | None = None,
+    config: str = "default",
+) -> AppResult:
+    cfg = CONFIGS[config]
+    nbytes = max(cfg["allreduce_bytes"], 8)
+    nbytes = (nbytes + 3) // 4 * 4  # whole float32 elements
+
+    def program_factory(comm, coll_times, warm_ends):
+        def program(comm_, ctx):
+            sbuf = ctx.alloc("amr.s", nbytes)
+            rbuf = ctx.alloc("amr.r", nbytes)
+            scratch = ctx.alloc("amr.scratch", nbytes)
+            spent = 0.0
+            # Warm-up: establish mappings before the measured run.
+            yield from comm_.allreduce(ctx, sbuf.whole(), rbuf.whole(),
+                                       SUM, FLOAT)
+            warm_ends.append(ctx.now)
+            for _ in range(cfg["timesteps"]):
+                yield P.Compute(cfg["compute"])
+                for _ in range(cfg["allreduces_per_step"]):
+                    yield P.Copy(src=scratch.whole(), dst=sbuf.whole())
+                    t0 = ctx.now
+                    yield from comm_.allreduce(ctx, sbuf.whole(),
+                                               rbuf.whole(), SUM, FLOAT)
+                    spent += ctx.now - t0
+            coll_times.append(spent)
+
+        return program
+
+    return run_app(system, nranks, component_factory, component_name,
+                   program_factory, cfg["timesteps"])

@@ -1,0 +1,38 @@
+"""Benchmark harness: OSU-style microbenchmarks and per-figure drivers.
+
+Every table and figure of the paper's evaluation (SSV) has a driver in
+:mod:`repro.bench.figures` that regenerates the same rows/series on the
+simulated machines; the pytest-benchmark wrappers live in ``benchmarks/``.
+"""
+
+from .components import COMPONENTS, make_component, component_names
+from .osu import osu_bcast, osu_allreduce, osu_latency, OsuSeries
+from .report import render_series_table, render_rows
+from .figures import (
+    FigureResult,
+    table1_systems,
+    fig1a_domains,
+    fig1b_congestion,
+    fig3_mechanisms,
+    fig4_atomics,
+    fig7_osu_variants,
+    fig8_bcast,
+    fig9_layout_root,
+    table2_message_counts,
+    fig10_cacheline,
+    fig11_allreduce,
+    fig12_pisvm,
+    fig13_miniamr,
+    fig14_cntk,
+)
+
+__all__ = [
+    "COMPONENTS", "make_component", "component_names",
+    "osu_bcast", "osu_allreduce", "osu_latency", "OsuSeries",
+    "render_series_table", "render_rows",
+    "FigureResult", "table1_systems",
+    "fig1a_domains", "fig1b_congestion", "fig3_mechanisms", "fig4_atomics",
+    "fig7_osu_variants", "fig8_bcast", "fig9_layout_root",
+    "table2_message_counts", "fig10_cacheline", "fig11_allreduce",
+    "fig12_pisvm", "fig13_miniamr", "fig14_cntk",
+]

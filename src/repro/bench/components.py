@@ -1,0 +1,43 @@
+"""Registry of the collectives frameworks compared in the paper (SSV-C)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ConfigError
+from ..mpi.colls import SmColl, Smhc, Tuned, Ucc, Xbrc
+from ..xhc import Xhc
+
+COMPONENTS: dict[str, Callable[[], object]] = {
+    "tuned": Tuned,
+    "sm": SmColl,
+    "ucc": Ucc,
+    "smhc-flat": lambda: Smhc(tree=False),
+    "smhc-tree": lambda: Smhc(tree=True),
+    "xbrc": Xbrc,
+    "xhc-flat": lambda: Xhc(hierarchy="flat"),
+    "xhc-tree": lambda: Xhc(hierarchy="numa+socket"),
+}
+
+# The component sets each figure compares (smhc has no tree variant on the
+# single-socket Epyc-1P; xbrc implements only reduction collectives).
+BCAST_SET = ["tuned", "sm", "ucc", "smhc-flat", "smhc-tree",
+             "xhc-flat", "xhc-tree"]
+ALLREDUCE_SET = ["tuned", "sm", "ucc", "xbrc", "xhc-flat", "xhc-tree"]
+
+
+def component_names(kind: str, system: str) -> list[str]:
+    names = list(BCAST_SET if kind == "bcast" else ALLREDUCE_SET)
+    if system.lower() == "epyc-1p" and "smhc-tree" in names:
+        names.remove("smhc-tree")
+    return names
+
+
+def make_component(name: str):
+    try:
+        factory = COMPONENTS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown component {name!r}; known: {sorted(COMPONENTS)}"
+        ) from None
+    return factory()

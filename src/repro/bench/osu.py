@@ -1,0 +1,203 @@
+"""OSU-microbenchmark-style drivers (SSV-A).
+
+Each collective benchmark runs warmup + measured iterations inside one
+simulation and reports the mean per-rank latency, exactly like
+``osu_bcast`` / ``osu_allreduce``. The ``modify`` option is the paper's
+``_mb`` variant: the transmitted buffer is rewritten (a *simulated* write,
+so caches invalidate) before every iteration — without it the benchmark
+measures the unrealistic hot-cache scenario the paper dissects in Fig. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..mpi import FLOAT, SUM, World
+from ..node import Node
+from ..shmem.smsc import SmscConfig
+from ..sim import primitives as P
+from ..topology import get_system
+
+DEFAULT_SIZES = (4, 16, 64, 256, 1024, 4096, 16384, 65536,
+                 262144, 1048576, 4194304)
+
+
+@dataclass
+class OsuSeries:
+    """Mean latency (seconds) per message size for one configuration."""
+
+    label: str
+    sizes: list[int] = field(default_factory=list)
+    latency: dict[int, float] = field(default_factory=dict)
+
+    def add(self, size: int, value: float) -> None:
+        self.sizes.append(size)
+        self.latency[size] = value
+
+    def us(self, size: int) -> float:
+        return self.latency[size] * 1e6
+
+
+def _modify(scratch, view):
+    """A simulated full rewrite of ``view`` (invalidates peer caches)."""
+    return P.Copy(src=scratch.view(0, view.length), dst=view)
+
+
+def run_collective(
+    kind: str,
+    system: str,
+    nranks: int,
+    component_factory: Callable[[], object],
+    size: int,
+    *,
+    warmup: int = 1,
+    iters: int = 5,
+    modify: bool = True,
+    mapping="core",
+    root: int = 0,
+    smsc: SmscConfig | None = None,
+    data_movement: bool = False,
+    node: Node | None = None,
+) -> float:
+    """One (configuration, size) cell: mean per-rank collective latency."""
+    if node is None:
+        node = Node(get_system(system), data_movement=data_movement)
+    world = World(node, nranks, mapping=mapping, smsc=smsc)
+    comm = world.communicator(component_factory())
+    samples: list[float] = []
+
+    def program(comm, ctx):
+        me = comm.rank_of(ctx)
+        scratch = ctx.alloc("osu.scratch", size)
+        if kind == "bcast":
+            buf = ctx.alloc("osu.buf", size)
+            for it in range(warmup + iters):
+                if modify and me == root:
+                    yield _modify(scratch, buf.whole())
+                t0 = ctx.now
+                yield from comm.bcast(ctx, buf.whole(), root)
+                if it >= warmup:
+                    samples.append(ctx.now - t0)
+        elif kind == "allreduce":
+            sbuf = ctx.alloc("osu.sbuf", size)
+            rbuf = ctx.alloc("osu.rbuf", size)
+            for it in range(warmup + iters):
+                if modify:
+                    yield _modify(scratch, sbuf.whole())
+                t0 = ctx.now
+                yield from comm.allreduce(ctx, sbuf.whole(), rbuf.whole(),
+                                          SUM, FLOAT)
+                if it >= warmup:
+                    samples.append(ctx.now - t0)
+        elif kind == "reduce":
+            sbuf = ctx.alloc("osu.sbuf", size)
+            rbuf = ctx.alloc("osu.rbuf", size) if me == root else None
+            for it in range(warmup + iters):
+                if modify:
+                    yield _modify(scratch, sbuf.whole())
+                t0 = ctx.now
+                yield from comm.reduce(
+                    ctx, sbuf.whole(),
+                    None if rbuf is None else rbuf.whole(),
+                    SUM, FLOAT, root)
+                if it >= warmup:
+                    samples.append(ctx.now - t0)
+        elif kind == "barrier":
+            for it in range(warmup + iters):
+                t0 = ctx.now
+                yield from comm.barrier(ctx)
+                if it >= warmup:
+                    samples.append(ctx.now - t0)
+        elif kind == "gather":
+            sbuf = ctx.alloc("osu.sbuf", size)
+            rbuf = (ctx.alloc("osu.rbuf", size * comm.size)
+                    if me == root else None)
+            for it in range(warmup + iters):
+                if modify:
+                    yield _modify(scratch, sbuf.whole())
+                t0 = ctx.now
+                yield from comm.gather(
+                    ctx, sbuf.whole(),
+                    None if rbuf is None else rbuf.whole(), root)
+                if it >= warmup:
+                    samples.append(ctx.now - t0)
+        elif kind == "alltoall":
+            sbuf = ctx.alloc("osu.sbuf", size * comm.size)
+            rbuf = ctx.alloc("osu.rbuf", size * comm.size)
+            big_scratch = ctx.alloc("osu.scr2", size * comm.size)
+            for it in range(warmup + iters):
+                if modify:
+                    yield _modify(big_scratch, sbuf.whole())
+                t0 = ctx.now
+                yield from comm.alltoall(ctx, sbuf.whole(), rbuf.whole())
+                if it >= warmup:
+                    samples.append(ctx.now - t0)
+        else:
+            raise ValueError(f"unknown collective kind {kind!r}")
+
+    comm.run(program)
+    return float(np.mean(samples))
+
+
+def _sweep(kind, system, nranks, component_factory, sizes, label,
+           **kw) -> OsuSeries:
+    series = OsuSeries(label=label)
+    for size in sizes:
+        series.add(size, run_collective(kind, system, nranks,
+                                        component_factory, size, **kw))
+    return series
+
+
+def osu_bcast(system, nranks, component_factory, sizes=DEFAULT_SIZES,
+              label="bcast", **kw) -> OsuSeries:
+    return _sweep("bcast", system, nranks, component_factory, sizes, label,
+                  **kw)
+
+
+def osu_allreduce(system, nranks, component_factory, sizes=DEFAULT_SIZES,
+                  label="allreduce", **kw) -> OsuSeries:
+    return _sweep("allreduce", system, nranks, component_factory, sizes,
+                  label, **kw)
+
+
+def osu_latency(
+    system: str,
+    cores: tuple[int, int],
+    size: int,
+    *,
+    warmup: int = 1,
+    iters: int = 5,
+    smsc: SmscConfig | None = None,
+    modify: bool = True,
+) -> float:
+    """Ping-pong one-way latency between two pinned ranks (osu_latency)."""
+    node = Node(get_system(system), data_movement=False)
+    world = World(node, 2, mapping=list(cores), smsc=smsc)
+    from ..mpi.colls import Tuned
+    comm = world.communicator(Tuned())
+    samples: list[float] = []
+
+    def program(comm, ctx):
+        me = comm.rank_of(ctx)
+        buf = ctx.alloc("pingpong", size)
+        scratch = ctx.alloc("pp.scratch", size)
+        for it in range(warmup + iters):
+            t0 = ctx.now
+            if me == 0:
+                if modify:
+                    yield _modify(scratch, buf.whole())
+                yield from comm.send(ctx, buf.whole(), 1)
+                yield from comm.recv(ctx, buf.whole(), 1)
+                if it >= warmup:
+                    samples.append((ctx.now - t0) / 2)
+            else:
+                yield from comm.recv(ctx, buf.whole(), 0)
+                if modify:
+                    yield _modify(scratch, buf.whole())
+                yield from comm.send(ctx, buf.whole(), 0)
+
+    comm.run(program)
+    return float(np.mean(samples))

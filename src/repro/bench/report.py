@@ -1,0 +1,100 @@
+"""Plain-text rendering of benchmark results."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .osu import OsuSeries
+
+
+def _fmt_size(size: int) -> str:
+    if size >= 1 << 20 and size % (1 << 20) == 0:
+        return f"{size >> 20}M"
+    if size >= 1 << 10 and size % (1 << 10) == 0:
+        return f"{size >> 10}K"
+    return str(size)
+
+
+def render_series_table(title: str, series: Sequence[OsuSeries],
+                        unit: str = "us") -> str:
+    """Sizes down the rows, one column per series; latencies in Âµs."""
+    sizes = list(dict.fromkeys(s for ser in series for s in ser.sizes))
+    labels = [ser.label for ser in series]
+    widths = [max(8, len("size"))] + [max(10, len(l) + 1) for l in labels]
+    lines = [title, "=" * len(title)]
+    header = "size".rjust(widths[0]) + "".join(
+        l.rjust(w) for l, w in zip(labels, widths[1:])
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for size in sizes:
+        row = _fmt_size(size).rjust(widths[0])
+        for ser, w in zip(series, widths[1:]):
+            if size in ser.latency:
+                row += f"{ser.latency[size] * 1e6:.2f}".rjust(w)
+            else:
+                row += "-".rjust(w)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_rows(title: str, headers: Sequence[str],
+                rows: Sequence[Sequence]) -> str:
+    """Generic aligned table."""
+    cols = len(headers)
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in str_rows)) + 2
+        if str_rows else len(headers[c]) + 2
+        for c in range(cols)
+    ]
+    lines = [title, "=" * len(title)]
+    header = "".join(h.rjust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in str_rows:
+        lines.append("".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_series_chart(title: str, series: Sequence[OsuSeries],
+                        width: int = 60) -> str:
+    """Log-scale ASCII chart: one row per (size), bars per series.
+
+    A lightweight stand-in for the paper's line plots when only a terminal
+    is available; values are latencies, shorter bars are better.
+    """
+    import math
+
+    sizes = list(dict.fromkeys(s for ser in series for s in ser.sizes))
+    values = [ser.latency[s] for ser in series for s in ser.sizes
+              if s in ser.latency]
+    if not values:
+        return title + "\n(no data)"
+    lo = min(values)
+    hi = max(values)
+    span = math.log10(hi / lo) if hi > lo else 1.0
+
+    def bar(value: float) -> str:
+        frac = math.log10(value / lo) / span if span else 0.0
+        n = max(1, int(round(frac * (width - 1))) + 1)
+        return "#" * n
+
+    label_w = max(len(ser.label) for ser in series) + 2
+    lines = [title, "=" * len(title),
+             f"(log scale, {lo * 1e6:.2f}us .. {hi * 1e6:.2f}us)"]
+    for size in sizes:
+        lines.append(f"-- {_fmt_size(size)}")
+        for ser in series:
+            if size not in ser.latency:
+                continue
+            v = ser.latency[size]
+            lines.append(f"  {ser.label.ljust(label_w)}"
+                         f"{bar(v)} {v * 1e6:.2f}")
+    return "\n".join(lines)

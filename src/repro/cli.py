@@ -1,0 +1,176 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``topo``     describe a machine and the XHC hierarchy built on it
+``bench``    sweep a collective across components (Fig. 8/11 style)
+``figure``   regenerate one of the paper's figures/tables by name
+``app``      run an application skeleton under a chosen component
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import bench as bench_mod
+from .bench.components import COMPONENTS, component_names
+from .bench.osu import DEFAULT_SIZES, osu_allreduce, osu_bcast
+from .bench.report import render_rows, render_series_table
+from .topology import get_system
+from .topology.io import load_topology
+
+FIGURES = {
+    "table1": lambda q: bench_mod.table1_systems(),
+    "fig1a": lambda q: bench_mod.fig1a_domains(quick=q),
+    "fig1b": lambda q: bench_mod.fig1b_congestion(quick=q),
+    "fig3": lambda q: bench_mod.fig3_mechanisms(quick=q),
+    "fig4": lambda q: bench_mod.fig4_atomics(quick=q),
+    "fig7": lambda q: bench_mod.fig7_osu_variants(quick=q),
+    "fig8-epyc-1p": lambda q: bench_mod.fig8_bcast("epyc-1p", quick=q),
+    "fig8-epyc-2p": lambda q: bench_mod.fig8_bcast("epyc-2p", quick=q),
+    "fig8-arm-n1": lambda q: bench_mod.fig8_bcast("arm-n1", quick=q),
+    "fig9": lambda q: bench_mod.fig9_layout_root(quick=q),
+    "table2": lambda q: bench_mod.table2_message_counts(quick=q),
+    "fig10": lambda q: bench_mod.fig10_cacheline(quick=q),
+    "fig11-epyc-1p": lambda q: bench_mod.fig11_allreduce("epyc-1p", quick=q),
+    "fig11-epyc-2p": lambda q: bench_mod.fig11_allreduce("epyc-2p", quick=q),
+    "fig11-arm-n1": lambda q: bench_mod.fig11_allreduce("arm-n1", quick=q),
+    "fig12": lambda q: bench_mod.fig12_pisvm(quick=q),
+    "fig13-default": lambda q: bench_mod.fig13_miniamr("default", quick=q),
+    "fig13-refine": lambda q: bench_mod.fig13_miniamr("refine-1k", quick=q),
+    "fig14": lambda q: bench_mod.fig14_cntk(quick=q),
+}
+
+
+def _resolve_topology(args):
+    if getattr(args, "spec", None):
+        return load_topology(args.spec)
+    return get_system(args.system)
+
+
+def cmd_topo(args) -> int:
+    topo = _resolve_topology(args)
+    print(topo.describe())
+    from .xhc import XhcConfig, build_hierarchy
+    cfg = XhcConfig(hierarchy=args.hierarchy)
+    hier = build_hierarchy(topo, list(range(topo.n_cores)), cfg.tokens(),
+                           root=args.root)
+    print(f"XHC hierarchy ({args.hierarchy!r}, root={args.root}):")
+    print(" ", hier.describe())
+    rows = []
+    for level_idx, level in enumerate(hier.levels):
+        for g in level:
+            rows.append([level_idx, g.index, g.leader, len(g.members)])
+    print(render_rows("Groups", ["level", "group", "leader", "members"],
+                      rows))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    names = (args.components.split(",") if args.components
+             else component_names(args.collective, args.system))
+    sizes = (tuple(int(s) for s in args.sizes.split(","))
+             if args.sizes else DEFAULT_SIZES)
+    nranks = args.nranks or get_system(args.system).n_cores
+    runner = osu_bcast if args.collective == "bcast" else osu_allreduce
+    series = [
+        runner(args.system, nranks, COMPONENTS[name], sizes=sizes,
+               label=name, warmup=args.warmup, iters=args.iters)
+        for name in names
+    ]
+    print(render_series_table(
+        f"MPI_{args.collective.capitalize()} on {args.system} "
+        f"({nranks} ranks, us)", series))
+    return 0
+
+
+def cmd_figure(args) -> int:
+    try:
+        fn = FIGURES[args.name]
+    except KeyError:
+        print(f"unknown figure {args.name!r}; available: "
+              f"{', '.join(sorted(FIGURES))}", file=sys.stderr)
+        return 2
+    result = fn(args.quick)
+    print(result.text)
+    if args.csv:
+        result.write_csv(args.csv)
+        print(f"\n[wrote {len(result.to_records())} records to {args.csv}]")
+    return 0
+
+
+def cmd_app(args) -> int:
+    from .apps import run_cntk, run_miniamr, run_pisvm
+    runners = {
+        "pisvm": lambda f, n: run_pisvm(args.system, f, n,
+                                        nranks=args.nranks),
+        "miniamr": lambda f, n: run_miniamr(args.system, f, n,
+                                            nranks=args.nranks,
+                                            config=args.config),
+        "cntk": lambda f, n: run_cntk(args.system, f, n,
+                                      nranks=args.nranks),
+    }
+    names = (args.components.split(",") if args.components
+             else ["tuned", "ucc", "xhc-tree"])
+    rows = []
+    for name in names:
+        res = runners[args.app](COMPONENTS[name], name)
+        rows.append([name, res.total_time * 1e3, res.collective_time * 1e3,
+                     round(100 * res.mpi_fraction, 1)])
+    print(render_rows(f"{args.app} on {args.system}",
+                      ["component", "total_ms", "collective_ms", "mpi_%"],
+                      rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="XHC reproduction: simulated hierarchical single-copy "
+                    "MPI collectives (CLUSTER 2022)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("topo", help="describe a machine + XHC hierarchy")
+    p.add_argument("system", nargs="?", default="epyc-2p")
+    p.add_argument("--spec", help="JSON topology spec file")
+    p.add_argument("--hierarchy", default="numa+socket")
+    p.add_argument("--root", type=int, default=0)
+    p.set_defaults(fn=cmd_topo)
+
+    p = sub.add_parser("bench", help="component sweep for one collective")
+    p.add_argument("collective", choices=["bcast", "allreduce"])
+    p.add_argument("--system", default="epyc-1p")
+    p.add_argument("--nranks", type=int)
+    p.add_argument("--components", help="comma-separated (default: paper set)")
+    p.add_argument("--sizes", help="comma-separated bytes")
+    p.add_argument("--warmup", type=int, default=1)
+    p.add_argument("--iters", type=int, default=3)
+    p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure/table")
+    p.add_argument("name", help=f"one of: {', '.join(sorted(FIGURES))}")
+    p.add_argument("--quick", action="store_true")
+    p.add_argument("--csv", help="also write machine-readable records here")
+    p.set_defaults(fn=cmd_figure)
+
+    p = sub.add_parser("app", help="run an application skeleton")
+    p.add_argument("app", choices=["pisvm", "miniamr", "cntk"])
+    p.add_argument("--system", default="epyc-1p")
+    p.add_argument("--nranks", type=int)
+    p.add_argument("--components")
+    p.add_argument("--config", default="default",
+                   help="miniAMR config (default | refine-1k)")
+    p.set_defaults(fn=cmd_app)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""Inter-node extension (the paper's SSVII future work).
+
+"We are extending XHC towards inter-node interactions" — this package
+provides the reproduction's version of that direction: a *cluster* is
+modeled as one topology whose outermost level is a set of single-socket
+nodes joined by an RDMA-class network. Cross-node transfers are priced
+with network latency/bandwidth and per-node NIC resources; everything
+below reuses the intra-node machinery unchanged.
+
+The key observation making this work: XHC's pull-based single-copy chunk
+pipeline maps onto RDMA *get* operations one-to-one — a child reading its
+parent's exposed buffer across the network is an RDMA read from a
+registered region, and the registration cache plays the role of the RDMA
+memory-registration cache. So the same ``Xhc`` component, given a
+``numa+socket`` sensitivity on a cluster topology (where the "socket"
+level *is* the node boundary), builds exactly the inter-node hierarchy the
+paper sketches.
+"""
+
+from .builder import ClusterParams, NetworkParams, build_cluster
+
+__all__ = ["ClusterParams", "NetworkParams", "build_cluster"]

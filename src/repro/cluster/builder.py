@@ -1,0 +1,109 @@
+"""Cluster topology + model construction.
+
+A cluster of ``n_nodes`` single-socket nodes becomes one topology whose
+SOCKET level represents the node boundary; the machine model prices the
+CROSS_SOCKET distance class with network parameters (RDMA-get latency and
+per-stream bandwidth), and the ``xlink``/``fabric`` resources become the
+fabric switch and per-node NIC respectively.
+
+Limitations (documented, deliberate): one switch-level resource models the
+fabric core (no per-cable topology), and all nodes are identical
+single-socket machines — enough to study how the hierarchical algorithms
+extend beyond the node, which is what SSVII sketches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TopologyError
+from ..memory.model import MachineModel
+from ..node import Node
+from ..topology.builder import TopologyBuilder
+from ..topology.distance import Distance
+from ..topology.objects import Topology
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """An RDMA-class interconnect (defaults: 100 Gb/s-era fabric)."""
+
+    latency: float = 1.8e-6          # one-sided get latency
+    bandwidth: float = 11e9          # single-stream get bandwidth
+    nic_bandwidth: float = 12.5e9    # per-node NIC (100 Gb/s)
+    switch_bandwidth: float = 200e9  # fabric core
+
+
+@dataclass(frozen=True)
+class ClusterParams:
+    n_nodes: int = 4
+    numa_per_node: int = 4
+    cores_per_numa: int = 8
+    cores_per_llc: int | None = 4
+    network: NetworkParams = NetworkParams()
+
+
+def build_cluster_topology(params: ClusterParams) -> Topology:
+    if params.n_nodes < 1:
+        raise TopologyError("cluster needs at least one node")
+    b = TopologyBuilder(f"cluster-{params.n_nodes}x")
+    b._machine.attrs.update({
+        "kind": "cluster",
+        "n_nodes": params.n_nodes,
+        "cores_per_node": params.numa_per_node * params.cores_per_numa,
+    })
+    for _node in range(params.n_nodes):
+        sock = b.socket()  # the node boundary
+        for _ in range(params.numa_per_node):
+            numa = b.numa(sock)
+            if params.cores_per_llc is None:
+                b.cores(numa, params.cores_per_numa)
+            else:
+                if params.cores_per_numa % params.cores_per_llc:
+                    raise TopologyError(
+                        "cores_per_numa must be a multiple of cores_per_llc")
+                for _ in range(params.cores_per_numa
+                               // params.cores_per_llc):
+                    llc = b.llc(numa)
+                    b.cores(llc, params.cores_per_llc)
+    return b.build()
+
+
+def build_cluster_model(topo: Topology,
+                        params: ClusterParams) -> MachineModel:
+    from ..memory.model import model_for
+    net = params.network
+    base = model_for(topo)  # Epyc-like intra-node parameters
+    lat = dict(base.lat)
+    bw = dict(base.bw)
+    lat[Distance.CROSS_SOCKET] = net.latency
+    bw[Distance.CROSS_SOCKET] = net.bandwidth
+    return base.with_overrides(
+        name=topo.name,
+        lat=lat,
+        bw=bw,
+        # The "inter-socket link" is the fabric core; the per-socket
+        # fabric resource doubles as the node's NIC for traffic that
+        # leaves it.
+        inter_socket_bw=net.switch_bandwidth,
+        socket_fabric_bw=net.nic_bandwidth,
+        # RDMA registration is pricier than an XPMEM attach: larger
+        # per-page pinning cost, same amortization-by-reuse story.
+        page_fault_cost=base.page_fault_cost * 2,
+        syscall_cost=base.syscall_cost * 2,
+    )
+
+
+def build_cluster(params: ClusterParams | None = None, **kw):
+    """Build (Node, Topology, MachineModel) for a simulated cluster.
+
+    ``kw`` overrides :class:`ClusterParams` fields, e.g.
+    ``build_cluster(n_nodes=8)``.
+    """
+    if params is None:
+        params = ClusterParams(**kw)
+    elif kw:
+        raise TopologyError("pass either params or keyword overrides")
+    topo = build_cluster_topology(params)
+    model = build_cluster_model(topo, params)
+    return Node(topo, model), topo, model

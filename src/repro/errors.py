@@ -1,0 +1,33 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class TopologyError(ReproError):
+    """Invalid topology construction or query."""
+
+
+class SimulationError(ReproError):
+    """Engine-level failure (deadlock, bad primitive, double-run...)."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still blocked."""
+
+
+class MemoryModelError(ReproError):
+    """Invalid buffer/cache operation."""
+
+
+class ShmemError(ReproError):
+    """Shared-memory / single-copy mechanism misuse (bad attach, OOB...)."""
+
+
+class MPIError(ReproError):
+    """MPI-layer misuse (bad rank, mismatched collective, bad datatype)."""
+
+
+class ConfigError(ReproError):
+    """Unknown or invalid tuning parameter."""

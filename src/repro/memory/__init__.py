@@ -1,0 +1,29 @@
+"""Memory-system substrate: cost model, cache state, address spaces.
+
+This package prices every data movement the simulator performs:
+
+* :mod:`repro.memory.model` — per-machine latency/bandwidth parameters by
+  topological distance, cache capacities, and kernel-mechanism overheads
+  (XPMEM page faults, CMA/KNEM syscalls, registration-cache lookups).
+* :mod:`repro.memory.cache` — cache-residency state (private L2, shared LLC
+  groups or a socket-level SLC) that reproduces the paper's caching
+  artifacts (Fig. 7) and implicit flag-propagation assist (Fig. 10).
+* :mod:`repro.memory.address_space` — per-process buffers with NUMA homes
+  and an optional real numpy data plane.
+"""
+
+from .model import MachineModel, MODELS, model_for
+from .cache import CacheLevel, CacheSystem, CacheKind
+from .address_space import AddressSpace, Buffer, BufView
+
+__all__ = [
+    "MachineModel",
+    "MODELS",
+    "model_for",
+    "CacheLevel",
+    "CacheSystem",
+    "CacheKind",
+    "AddressSpace",
+    "Buffer",
+    "BufView",
+]

@@ -1,0 +1,178 @@
+"""Per-machine performance parameters.
+
+Absolute values are *plausible* numbers for the Table I machines, chosen to
+reproduce the relationships the paper itself measures in its motivational
+experiments (SSIII): the distance-class ordering of Fig. 1a, the congestion
+behaviour of Fig. 1b, the single-copy mechanism ordering of Fig. 3, and the
+atomics collapse of Fig. 4. They are not fitted to the evaluation figures.
+
+All times are seconds, all bandwidths bytes/second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import MemoryModelError
+from ..topology.distance import Distance
+from ..topology.objects import Topology
+
+CACHE_LINE = 64
+PAGE_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Every tunable cost the simulator charges, for one machine."""
+
+    name: str
+
+    # -- point-to-point path characteristics, by distance class ----------
+    # Startup latency of a transfer whose source is at the given distance.
+    lat: dict[Distance, float] = field(default_factory=dict)
+    # Single-stream bandwidth of such a transfer (uncontended).
+    bw: dict[Distance, float] = field(default_factory=dict)
+
+    # -- cache geometry ----------------------------------------------------
+    l2_size: int = 512 * 1024          # private per-core
+    llc_size: int = 8 * 1024 * 1024    # per LLC group (Epyc CCX); 0 if none
+    slc_size: int = 0                  # per-socket system-level cache (ARM)
+
+    # -- shared contention resources ----------------------------------------
+    numa_mem_bw: float = 30e9          # DRAM channels of one NUMA node
+    llc_port_bw: float = 60e9          # read port of one LLC group
+    socket_fabric_bw: float = 80e9     # intra-socket interconnect
+    inter_socket_bw: float = 35e9      # socket-to-socket link
+    slc_bw: float = 0.0                # aggregate SLC bandwidth (ARM)
+
+    # -- line-granularity (flag) transactions -------------------------------
+    # Time one cache-line fetch occupies its source point; fan-in of N
+    # readers on one line serializes at this rate.
+    line_occupancy: float = 8e-9
+    # Local store / flag update cost for the single writer.
+    store_cost: float = 10e-9
+    # Polling loop resolution when waiting on a flag.
+    poll_delay: float = 20e-9
+    # Base execution cost of one atomic RMW (on top of ownership transfer).
+    atomic_base: float = 25e-9
+    # Per-contender inflation of an atomic's ownership-transfer latency
+    # (concurrent RMWs interfere; per-op cost grows with contenders).
+    atomic_contention: float = 0.45
+
+    # -- kernel mechanisms --------------------------------------------------
+    syscall_cost: float = 0.8e-6
+    page_fault_cost: float = 0.45e-6   # per 4 KiB page on first XPMEM touch
+    regcache_lookup_cost: float = 0.15e-6
+    xpmem_detach_cost: float = 0.6e-6
+    # Additive per-operation kernel-lock delay: alpha * concurrent users
+    # (Chakraborty et al. [28]: CMA/KNEM contend on mm locks; CMA worse).
+    cma_lock_alpha: float = 3.0e-6
+    knem_lock_alpha: float = 0.8e-6
+    # Kernel-assisted copy engines run below the user-space copy rate.
+    cma_bw_factor: float = 0.55
+    knem_bw_factor: float = 0.85
+
+    # -- compute -------------------------------------------------------------
+    reduce_bw: float = 9e9             # bytes/s a core reduces (load+op+store)
+    copy_issue_cost: float = 30e-9     # fixed per-copy software overhead
+
+    def __post_init__(self) -> None:
+        for dist in Distance:
+            if dist not in self.lat or dist not in self.bw:
+                raise MemoryModelError(
+                    f"model {self.name!r} missing parameters for {dist.label}"
+                )
+
+    def with_overrides(self, **kw) -> "MachineModel":
+        """A copy of this model with some fields replaced."""
+        return replace(self, **kw)
+
+
+def _epyc_common(name: str) -> MachineModel:
+    return MachineModel(
+        name=name,
+        lat={
+            Distance.SELF: 15e-9,
+            Distance.CACHE_LOCAL: 45e-9,
+            Distance.INTRA_NUMA: 105e-9,
+            Distance.CROSS_NUMA: 140e-9,
+            Distance.CROSS_SOCKET: 260e-9,
+        },
+        bw={
+            Distance.SELF: 50e9,
+            Distance.CACHE_LOCAL: 16e9,
+            Distance.INTRA_NUMA: 12e9,
+            Distance.CROSS_NUMA: 8.5e9,
+            Distance.CROSS_SOCKET: 5e9,
+        },
+        l2_size=512 * 1024,
+        llc_size=8 * 1024 * 1024,
+        slc_size=0,
+        numa_mem_bw=32e9,
+        llc_port_bw=70e9,
+        socket_fabric_bw=90e9,
+        inter_socket_bw=38e9,
+        # One cross-core line transaction served out of a core's caches
+        # every ~35 ns; LLC-group peers bypass this via their shared L3.
+        line_occupancy=35e-9,
+    )
+
+
+EPYC_1P_MODEL = _epyc_common("Epyc-1P")
+EPYC_2P_MODEL = _epyc_common("Epyc-2P")
+
+ARM_N1_MODEL = MachineModel(
+    name="ARM-N1",
+    lat={
+        Distance.SELF: 12e-9,
+        # No shared LLC: "cache-local" never arises from topology, but a
+        # value is required for SLC-resident data read within a socket.
+        Distance.CACHE_LOCAL: 70e-9,
+        Distance.INTRA_NUMA: 110e-9,
+        Distance.CROSS_NUMA: 118e-9,   # nearly identical to intra (Fig. 1a)
+        Distance.CROSS_SOCKET: 350e-9,
+    },
+    bw={
+        Distance.SELF: 60e9,
+        Distance.CACHE_LOCAL: 15e9,
+        Distance.INTRA_NUMA: 11e9,
+        Distance.CROSS_NUMA: 10.5e9,
+        Distance.CROSS_SOCKET: 4.5e9,
+    },
+    l2_size=1024 * 1024,
+    llc_size=0,
+    slc_size=32 * 1024 * 1024,
+    numa_mem_bw=40e9,
+    llc_port_bw=0.0,
+    socket_fabric_bw=250e9,   # CMN-600 mesh
+    inter_socket_bw=32e9,
+    slc_bw=400e9,             # aggregate SLC slice bandwidth
+    # Home-node snoop occupancy on the CMN-600 mesh: a contended line's
+    # home serves one requester every ~45 ns. With no LLC-group shortcut,
+    # every reader queues here — SSV-D1's flat-tree collapse on this
+    # machine.
+    line_occupancy=45e-9,
+    atomic_base=30e-9,
+)
+
+
+MODELS: dict[str, MachineModel] = {
+    "epyc-1p": EPYC_1P_MODEL,
+    "epyc-2p": EPYC_2P_MODEL,
+    "arm-n1": ARM_N1_MODEL,
+}
+
+
+def model_for(topo: Topology) -> MachineModel:
+    """The parameter set matching a Table I topology, by codename."""
+    key = topo.name.lower()
+    if key in MODELS:
+        return MODELS[key]
+    # Custom topologies default to Epyc-like parameters, adjusted for the
+    # presence/absence of an LLC level.
+    base = _epyc_common(topo.name)
+    if not topo.has_llc:
+        base = base.with_overrides(
+            llc_size=0, llc_port_bw=0.0, slc_size=32 * 1024 * 1024, slc_bw=180e9
+        )
+    return base

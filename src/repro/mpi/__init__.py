@@ -1,0 +1,24 @@
+"""Simulated MPI layer.
+
+Provides the process/communicator substrate the collectives run on:
+
+* :class:`World` — the "MPI job": one simulated process per rank, pinned
+  to a core per the selected mapping policy (``map-core`` / ``map-numa``).
+* :class:`Communicator` — a group of ranks bound to one collectives
+  component; collective calls are generators driven with ``yield from``
+  inside rank programs.
+* :mod:`repro.mpi.p2p` — eager + rendezvous point-to-point transport over
+  shared memory / SMSC, used by the `tuned`-style baselines.
+"""
+
+from .datatypes import BYTE, DOUBLE, FLOAT, INT, Datatype
+from .ops import MAX, MIN, PROD, SUM, ReduceOp
+from .mapping import map_ranks
+from .world import Communicator, RankCtx, World
+
+__all__ = [
+    "Datatype", "BYTE", "INT", "FLOAT", "DOUBLE",
+    "ReduceOp", "SUM", "MAX", "MIN", "PROD",
+    "map_ranks",
+    "World", "RankCtx", "Communicator",
+]

@@ -1,0 +1,23 @@
+"""Collective components (OpenMPI coll-framework equivalents).
+
+========= =====================================================================
+Component Models
+========= =====================================================================
+tuned     OpenMPI's default: p2p-based trees/rings over UCX-style transport
+sm        OpenMPI's shared-memory collectives (CICO + atomic fetch-add sync)
+ucc       The UCC library: static knomial/ring schedules, XPMEM single-copy
+smhc      Jain et al. [18]: shared-memory hierarchical collectives
+xbrc      Hashmi et al. [5]: XPMEM-based flat reduction collectives
+========= =====================================================================
+
+The paper's own contribution lives in :mod:`repro.xhc`.
+"""
+
+from .base import CollComponent
+from .tuned import Tuned
+from .sm import SmColl
+from .ucc import Ucc
+from .smhc import Smhc
+from .xbrc import Xbrc
+
+__all__ = ["CollComponent", "Tuned", "SmColl", "Ucc", "Smhc", "Xbrc"]

@@ -1,0 +1,29 @@
+"""MPI datatypes (the subset the paper's collectives exercise)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import MPIError
+
+
+@dataclass(frozen=True)
+class Datatype:
+    name: str
+    itemsize: int
+    np_dtype: np.dtype
+
+    def count_of(self, nbytes: int) -> int:
+        if nbytes % self.itemsize:
+            raise MPIError(
+                f"{nbytes} bytes is not a whole number of {self.name} elements"
+            )
+        return nbytes // self.itemsize
+
+
+BYTE = Datatype("MPI_BYTE", 1, np.dtype(np.uint8))
+INT = Datatype("MPI_INT", 4, np.dtype(np.int32))
+FLOAT = Datatype("MPI_FLOAT", 4, np.dtype(np.float32))
+DOUBLE = Datatype("MPI_DOUBLE", 8, np.dtype(np.float64))

@@ -1,0 +1,58 @@
+"""Rank-to-core mapping policies.
+
+The Fig. 9a experiment contrasts two ``mpirun`` binding policies: ``map-core``
+(ranks fill cores sequentially) and ``map-numa`` (ranks round-robin across
+NUMA nodes). Topology-unaware components' communication patterns interact
+badly with the latter; XHC adapts (its hierarchy is built from the actual
+placement).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import MPIError
+from ..topology.objects import ObjKind, Topology
+
+
+def map_ranks(
+    topo: Topology, nranks: int, policy: str | Sequence[int] = "core"
+) -> list[int]:
+    """Return core index per rank under the given policy.
+
+    ``policy`` may also be an explicit rank->core permutation.
+    """
+    if not isinstance(policy, str):
+        cores = list(policy)
+        if len(cores) != nranks:
+            raise MPIError(
+                f"explicit mapping has {len(cores)} entries for {nranks} ranks"
+            )
+        if len(set(cores)) != len(cores):
+            raise MPIError("explicit mapping assigns one core to two ranks")
+        for c in cores:
+            if not 0 <= c < topo.n_cores:
+                raise MPIError(f"core {c} out of range")
+        return cores
+
+    if nranks > topo.n_cores:
+        raise MPIError(
+            f"{nranks} ranks exceed the {topo.n_cores} cores of {topo.name}"
+        )
+    if policy == "core":
+        return list(range(nranks))
+    if policy == "numa":
+        # Round-robin over NUMA nodes, sequential within each node.
+        groups = [list(numa.cpuset()) for numa in topo.objects(ObjKind.NUMA)]
+        for g in groups:
+            g.sort()
+        cores: list[int] = []
+        cursor = [0] * len(groups)
+        g = 0
+        while len(cores) < nranks:
+            if cursor[g] < len(groups[g]):
+                cores.append(groups[g][cursor[g]])
+                cursor[g] += 1
+            g = (g + 1) % len(groups)
+        return cores
+    raise MPIError(f"unknown mapping policy {policy!r}")

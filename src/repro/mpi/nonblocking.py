@@ -1,0 +1,71 @@
+"""Non-blocking collectives.
+
+CNTK originally calls MPI_Iallreduce; the paper replaces it with the
+blocking variant after verifying no performance loss (SSV-D3). This module
+provides the non-blocking forms so that claim is *testable* here (see
+``benchmarks/test_ablation_iallreduce.py``).
+
+Implementation: each non-blocking collective runs as a helper task pinned
+to the caller's core (its compute/copy work still serializes on that core,
+exactly like an MPI progress thread sharing it). Collectives on one
+communicator are chained per rank, so the operation order every component
+relies on is preserved even with several operations outstanding — MPI's
+ordering requirement for non-blocking collectives, enforced rather than
+assumed.
+
+Mixing rule: once a rank has issued a non-blocking collective on a
+communicator, its later *blocking* collectives on that communicator are
+routed through the same chain (the Communicator does this transparently),
+so programs may interleave the two forms freely.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Iterator
+
+from ..sim import primitives as P
+from ..sim.syncobj import Flag
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .world import Communicator, RankCtx
+
+
+class CollRequest:
+    """Completion handle of a non-blocking collective."""
+
+    _ids = itertools.count()
+
+    def __init__(self, ctx: "RankCtx", kind: str) -> None:
+        self.kind = kind
+        self.flag = Flag(f"icoll.{kind}.{ctx.rank}.{next(CollRequest._ids)}",
+                         ctx.core)
+
+    def wait(self) -> Iterator:
+        """Block until the operation completes."""
+        yield P.WaitFlag(self.flag, 1)
+
+    def done(self) -> bool:
+        """Non-consuming completion probe (MPI_Test-like, zero cost)."""
+        return self.flag.value >= 1
+
+
+def start(comm: "Communicator", ctx: "RankCtx", kind: str,
+          op_gen) -> CollRequest:
+    """Launch ``op_gen`` (a collective generator) as this rank's next
+    chained operation on ``comm``; returns its request."""
+    req = CollRequest(ctx, kind)
+    me = comm.rank_of(ctx)
+    prev = comm._nb_tail.get(me)
+    comm._nb_tail[me] = req
+
+    def runner() -> Iterator:
+        if prev is not None:
+            yield P.WaitFlag(prev.flag, 1)
+        yield from op_gen
+        yield P.SetFlag(req.flag, 1)
+
+    comm.world.node.engine.spawn(
+        runner(), core=ctx.core, name=f"i{kind}.r{me}"
+    )
+    return req

@@ -1,0 +1,23 @@
+"""MPI reduction operations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ReduceOp:
+    name: str
+    ufunc: Callable
+
+    def __call__(self, a, b):
+        return self.ufunc(a, b)
+
+
+SUM = ReduceOp("MPI_SUM", np.add)
+PROD = ReduceOp("MPI_PROD", np.multiply)
+MAX = ReduceOp("MPI_MAX", np.maximum)
+MIN = ReduceOp("MPI_MIN", np.minimum)

@@ -1,0 +1,370 @@
+"""The simulated multicore node.
+
+A :class:`Node` binds a topology, its machine model, the cache system, the
+contention resources and one event engine, and implements the pricing
+protocol the engine delegates to. It is the root object every simulation
+starts from::
+
+    node = Node(get_system("epyc-2p"))
+    space = node.new_address_space(rank=0, core=0)
+    ...
+    node.engine.spawn(rank_program, core=0)
+    node.engine.run()
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from .errors import SimulationError
+from .memory.address_space import AddressSpace, BufView
+from .memory.cache import CacheKind, CacheLevel, CacheSystem
+from .memory.model import MachineModel, PAGE_SIZE, model_for
+from .sim import primitives as P
+from .sim.engine import Engine
+from .sim.resources import Resource, ResourcePool
+from .sim.syncobj import Line
+from .topology.distance import Distance, classify_distance
+from .topology.objects import ObjKind, Topology
+
+
+class Node:
+    """Simulated machine + pricing rules."""
+
+    def __init__(
+        self,
+        topo: Topology,
+        model: MachineModel | None = None,
+        *,
+        data_movement: bool = True,
+        record_copies: bool = False,
+    ) -> None:
+        self.topo = topo
+        self.model = model if model is not None else model_for(topo)
+        self.caches = CacheSystem(topo, self.model)
+        self.resources = ResourcePool(topo, self.model)
+        self.data_movement = data_movement
+        self.engine = Engine(self, record_copies=record_copies)
+        self._dist_cache: dict[tuple[int, int], Distance] = {}
+        # Core index -> NUMA/socket indices, precomputed for pricing.
+        self._numa_of = [
+            t.index if t is not None else 0
+            for t in (topo.numa_of_core(c.index) for c in topo.cores)
+        ]
+        self._sock_of = [
+            t.index if t is not None else 0
+            for t in (topo.socket_of_core(c.index) for c in topo.cores)
+        ]
+        self._numa_sock = {
+            numa.index: (numa.ancestor(ObjKind.SOCKET).index
+                         if numa.ancestor(ObjKind.SOCKET) else 0)
+            for numa in topo.objects(ObjKind.NUMA)
+        }
+        self._numa_first_core = {
+            numa.index: numa.cores()[0].index
+            for numa in topo.objects(ObjKind.NUMA)
+        }
+        # Node-global XPMEM exposure registry (created lazily to keep the
+        # import graph acyclic).
+        from .shmem.xpmem import XpmemService
+        self.xpmem = XpmemService(self)
+        # Line-transaction horizon per home core: every cache-line fetch
+        # or atomic that must be served out of one core's caches queues at
+        # that core's port, whether or not the requests target the same
+        # line. This is what makes wide flag fan-ins serialize (Fig. 10's
+        # "separated" layout, the ARM-N1 flat-tree collapse).
+        self._line_port: dict[int, float] = {}
+
+    # -- setup helpers -----------------------------------------------------
+
+    def new_address_space(self, rank: int, core: int) -> AddressSpace:
+        numa = self.topo.numa_of_core(core)
+        return AddressSpace(
+            rank, core, numa.index if numa else 0,
+            data_movement=self.data_movement,
+        )
+
+    def distance(self, core_a: int, core_b: int) -> Distance:
+        key = (core_a, core_b)
+        dist = self._dist_cache.get(key)
+        if dist is None:
+            dist = classify_distance(self.topo, core_a, core_b)
+            self._dist_cache[key] = dist
+            self._dist_cache[(core_b, core_a)] = dist
+        return dist
+
+    def numa_distance(self, core: int, numa_index: int) -> Distance:
+        """Distance of a core to a NUMA node's memory."""
+        if self._numa_of[core] == numa_index:
+            return Distance.INTRA_NUMA
+        if self._sock_of[core] == self._numa_sock[numa_index]:
+            return Distance.CROSS_NUMA
+        return Distance.CROSS_SOCKET
+
+    # -- source location ---------------------------------------------------
+
+    def _cache_source(
+        self, core: int, view: BufView
+    ) -> tuple[Optional[CacheLevel], int]:
+        """Best cache source for reading ``view`` by ``core``.
+
+        Returns (cache_level, hit_bytes); (None, 0) when no cache holds any
+        of the range (DRAM at the buffer's home is then the source). The
+        nearest cache wins; a farther one only wins by covering strictly
+        more of the range.
+        """
+        buf = view.buf
+        off, length = view.offset, view.length
+        private = self.caches.private[core]
+        best: Optional[CacheLevel] = None
+        best_dist: Optional[Distance] = None
+        best_hit = 0
+        hit = private.hit_bytes(buf, off, length)
+        if hit > 0:
+            best, best_dist, best_hit = private, Distance.SELF, hit
+        for level in self.caches.holders_of(buf):
+            if level is private:
+                continue
+            hit = level.hit_bytes(buf, off, length)
+            if hit <= 0:
+                continue
+            if core in level.home_cores:
+                dist = (Distance.SELF if level.kind is CacheKind.PRIVATE
+                        else Distance.CACHE_LOCAL)
+            else:
+                dist = self.distance(core, level.home_cores[0])
+            better = (
+                best is None
+                or hit > best_hit
+                or (hit == best_hit and dist < best_dist)
+            )
+            # Prefer the nearest source unless a farther one covers more.
+            if best is not None and dist > best_dist and hit <= best_hit:
+                better = False
+            if better:
+                best, best_dist, best_hit = level, dist, hit
+                if best_hit >= length and best_dist <= Distance.CACHE_LOCAL:
+                    # A full-coverage local source cannot be beaten.
+                    break
+        return best, best_hit
+
+    def _source_route(
+        self, core: int, level: Optional[CacheLevel], buf
+    ) -> tuple[Distance, list[Resource]]:
+        """Distance class + bottleneck resources for reading from a source."""
+        if level is None:
+            # DRAM at the buffer's home NUMA node.
+            numa = buf.home_numa
+            dist = self.numa_distance(core, numa)
+            route = [self.resources.dram[numa]]
+            src_sock = self._numa_sock[numa]
+        else:
+            if level is self.caches.private[core]:
+                return Distance.SELF, []
+            src_core = level.home_cores[0]
+            if core in level.home_cores:
+                dist = Distance.CACHE_LOCAL
+            else:
+                dist = self.distance(core, src_core)
+            route = []
+            llc = self.topo.llc_of_core(src_core)
+            if llc is not None and llc.index in self.resources.llc_port:
+                route.append(self.resources.llc_port[llc.index])
+            elif self.resources.slc:
+                route.append(self.resources.slc[self._sock_of[src_core]])
+            else:
+                route.append(self.resources.dram[self._numa_of[src_core]])
+            if dist >= Distance.INTRA_NUMA:
+                # Cache-to-cache transfers that leave the LLC group ride
+                # the socket's data fabric (cross-CCX transport on Zen is
+                # fabric-limited, but does not consume DRAM channels).
+                fab = self.resources.fabric[self._sock_of[src_core]]
+                if fab not in route:
+                    route.append(fab)
+            src_sock = self._sock_of[src_core]
+        if dist >= Distance.CROSS_NUMA:
+            route.append(self.resources.fabric[src_sock])
+        if dist is Distance.CROSS_SOCKET:
+            route.append(self.resources.xlink)
+        return dist, route
+
+    def _read_price(
+        self, core: int, view: BufView, bw_factor: float = 1.0
+    ) -> tuple[float, list[Resource]]:
+        """Latency + transfer time to read ``view`` by ``core`` now."""
+        buf = view.buf
+        nbytes = view.length
+        level, hit_bytes = self._cache_source(core, view)
+        dist, route = self._source_route(core, level, buf)
+        duration = self.model.lat[dist] + self.model.copy_issue_cost
+        resources = list(route)
+        bw_cap = self.model.bw[dist] * bw_factor
+        eff_bw = min(
+            [bw_cap] + [r.bw / (r.active + 1) for r in route]
+        )
+        miss_bytes = nbytes - hit_bytes
+        duration += hit_bytes / eff_bw
+        if miss_bytes > 0 and level is not None:
+            # Remainder comes from the buffer's DRAM home.
+            d2, route2 = self._source_route(core, None, buf)
+            bw2 = min(
+                [self.model.bw[d2] * bw_factor]
+                + [r.bw / (r.active + 1) for r in route2]
+            )
+            duration += self.model.lat[d2] * 0.1 + miss_bytes / bw2
+            resources.extend(r for r in route2 if r not in resources)
+        elif miss_bytes > 0:
+            duration += miss_bytes / eff_bw
+        return duration, resources
+
+    def _write_resources(self, core: int, view: BufView) -> list[Resource]:
+        """Big destinations spill past the caches to their home DRAM."""
+        buf = view.buf
+        shared = self.caches.shared_cache_of(core)
+        limit = shared.capacity if shared is not None else self.model.l2_size
+        if buf.size > limit:
+            return [self.resources.dram[buf.home_numa]]
+        return []
+
+    # -- engine pricing protocol ------------------------------------------
+
+    @property
+    def store_cost(self) -> float:
+        return self.model.store_cost
+
+    def plan_copy(
+        self, core: int, prim: P.Copy, now: float
+    ) -> tuple[float, list[Resource], Optional[Callable[[], None]]]:
+        nbytes = prim.nbytes
+        if nbytes <= 0:
+            return 0.0, [], None
+        duration, resources = self._read_price(core, prim.src, prim.bw_factor)
+        for res in self._write_resources(core, prim.dst):
+            if res not in resources:
+                resources.append(res)
+
+        src, dst = prim.src, prim.dst
+
+        def complete() -> None:
+            self.caches.record_read(core, src.buf, src.offset + nbytes)
+            self.caches.record_write(core, dst.buf, dst.offset + nbytes)
+            if self.data_movement and src.buf.data is not None \
+                    and dst.buf.data is not None:
+                dst.array()[:nbytes] = src.array()[:nbytes]
+
+        return duration, resources, complete
+
+    def plan_reduce(
+        self, core: int, prim: P.Reduce, now: float
+    ) -> tuple[float, list[Resource], Optional[Callable[[], None]]]:
+        nbytes = prim.nbytes
+        if nbytes <= 0 or not prim.srcs:
+            return 0.0, [], None
+        duration = 0.0
+        resources: list[Resource] = []
+        for src in prim.srcs:
+            d, rts = self._read_price(core, src)
+            duration += d
+            for r in rts:
+                if r not in resources:
+                    resources.append(r)
+        # ALU + store cost; the operand loads (priced above) overlap with
+        # the arithmetic on real hardware, so this term is charged once,
+        # not per source.
+        duration += nbytes / self.model.reduce_bw
+        for res in self._write_resources(core, prim.dst):
+            if res not in resources:
+                resources.append(res)
+
+        def complete() -> None:
+            for src in prim.srcs:
+                self.caches.record_read(core, src.buf,
+                                        src.offset + src.length)
+            self.caches.record_write(core, prim.dst.buf,
+                                     prim.dst.offset + nbytes)
+            if self.data_movement and prim.dst.buf.data is not None:
+                self._apply_reduce(prim)
+
+        return duration, resources, complete
+
+    @staticmethod
+    def _apply_reduce(prim: P.Reduce) -> None:
+        dtype = prim.dtype if prim.dtype is not None else np.float32
+        op = prim.op if prim.op is not None else np.add
+        dst = prim.dst.as_dtype(dtype)
+        arrays = [s.as_dtype(dtype) for s in prim.srcs]
+        if any(a is None for a in arrays) or dst is None:
+            return
+        if prim.accumulate:
+            acc = dst.copy()
+        else:
+            acc = arrays[0].copy()
+            arrays = arrays[1:]
+        for arr in arrays:
+            acc = op(acc, arr)
+        dst[:] = acc
+
+    def line_read(self, core: int, line: Line, t: float) -> float:
+        """Completion time of a cache-line fetch started at ``t``."""
+        model = self.model
+        if core in line.holders:
+            return t + model.poll_delay
+        llc = self.topo.llc_of_core(core)
+        if llc is not None and llc.index in line.shared_holders:
+            # A same-LLC peer already pulled the line into the group cache:
+            # the implicit hardware assist of SSV-D1.
+            line.holders.add(core)
+            return t + model.lat[Distance.CACHE_LOCAL]
+        owner = line.owner_core
+        start = max(t, self._line_port.get(owner, 0.0))
+        dist = self.distance(core, owner)
+        self._line_port[owner] = start + model.line_occupancy
+        line.next_free = self._line_port[owner]
+        line.holders.add(core)
+        if llc is not None:
+            line.shared_holders.add(llc.index)
+        return start + model.lat[dist]
+
+    def atomic_cost(self, core: int, line: Line, now: float) -> tuple[float, float]:
+        """(start, duration) of an atomic RMW: queue at the line, then pay
+        the ownership ping-pong from the previous owner, inflated by the
+        interference of every other in-flight contender (their line
+        requests steal ownership-transfer bandwidth; per-op cost grows
+        with the contender count, making the total quadratic — the Fig. 4
+        collapse)."""
+        model = self.model
+        owner = line.owner_core
+        start = max(now, line.next_free, self._line_port.get(owner, 0.0))
+        dist = self.distance(core, owner)
+        contenders = max(0, line.pending_rmw - 1)
+        duration = (model.atomic_base
+                    + model.lat[dist] * (1.0 + model.atomic_contention
+                                         * contenders))
+        line.next_free = start + duration
+        self._line_port[owner] = start + duration
+        return start, duration
+
+    def syscall_cost(self, kind: str) -> float:
+        model = self.model
+        if kind == "cma":
+            return model.syscall_cost + model.cma_lock_alpha * self.resources.kernel_ops
+        if kind == "knem":
+            return model.syscall_cost + model.knem_lock_alpha * self.resources.kernel_ops
+        if kind == "xpmem_attach":
+            return model.syscall_cost
+        if kind == "xpmem_detach":
+            return model.xpmem_detach_cost
+        if kind == "generic":
+            return model.syscall_cost
+        raise SimulationError(f"unknown syscall kind {kind!r}")
+
+    def page_fault_cost(self, npages: int) -> float:
+        return npages * self.model.page_fault_cost
+
+    # -- misc ---------------------------------------------------------------
+
+    @staticmethod
+    def pages_of(nbytes: int) -> int:
+        return (nbytes + PAGE_SIZE - 1) // PAGE_SIZE

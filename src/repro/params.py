@@ -1,0 +1,121 @@
+"""MCA-like runtime tuning parameters.
+
+OpenMPI exposes component knobs through its Modular Component Architecture
+(MCA) parameter system; XHC's chunk sizes, CICO threshold and hierarchy
+sensitivity are all runtime-configurable that way (paper SSIII-B, SSIII-D).
+This module provides the equivalent: a typed parameter registry with
+per-instance overrides.
+
+Usage::
+
+    params = ParamSet(XHC_PARAMS, {"xhc_cico_threshold": 2048})
+    params["xhc_cico_threshold"]   # -> 2048
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Mapping
+
+from .errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Param:
+    """Declaration of a single tunable parameter."""
+
+    name: str
+    default: Any
+    doc: str = ""
+    # Optional validation hook; raises/returns False to reject a value.
+    check: Callable[[Any], bool] | None = None
+
+    def validate(self, value: Any) -> Any:
+        if self.check is not None and not self.check(value):
+            raise ConfigError(
+                f"invalid value {value!r} for parameter {self.name!r}"
+            )
+        return value
+
+
+class ParamRegistry:
+    """An ordered collection of :class:`Param` declarations."""
+
+    def __init__(self, params: list[Param] | None = None) -> None:
+        self._params: dict[str, Param] = {}
+        for p in params or []:
+            self.declare(p)
+
+    def declare(self, param: Param) -> Param:
+        if param.name in self._params:
+            raise ConfigError(f"duplicate parameter {param.name!r}")
+        self._params[param.name] = param
+        return param
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._params
+
+    def __getitem__(self, name: str) -> Param:
+        try:
+            return self._params[name]
+        except KeyError:
+            raise ConfigError(f"unknown parameter {name!r}") from None
+
+    def __iter__(self) -> Iterator[Param]:
+        return iter(self._params.values())
+
+    def names(self) -> list[str]:
+        return list(self._params)
+
+    def merged(self, other: "ParamRegistry") -> "ParamRegistry":
+        """A new registry containing this registry's params plus ``other``'s."""
+        out = ParamRegistry(list(self))
+        for p in other:
+            out.declare(p)
+        return out
+
+
+class ParamSet:
+    """Concrete values for a registry: defaults plus explicit overrides."""
+
+    def __init__(
+        self,
+        registry: ParamRegistry,
+        overrides: Mapping[str, Any] | None = None,
+    ) -> None:
+        self.registry = registry
+        self._values: dict[str, Any] = {}
+        for key, value in (overrides or {}).items():
+            self.set(key, value)
+
+    def set(self, name: str, value: Any) -> None:
+        param = self.registry[name]
+        self._values[name] = param.validate(value)
+
+    def __getitem__(self, name: str) -> Any:
+        param = self.registry[name]
+        return self._values.get(name, param.default)
+
+    def get(self, name: str, default: Any = None) -> Any:
+        if name not in self.registry:
+            return default
+        return self[name]
+
+    def overridden(self) -> dict[str, Any]:
+        return dict(self._values)
+
+    def copy_with(self, **overrides: Any) -> "ParamSet":
+        merged = dict(self._values)
+        merged.update(overrides)
+        return ParamSet(self.registry, merged)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {p.name: self[p.name] for p in self.registry}
+
+
+def positive(value: Any) -> bool:
+    return isinstance(value, (int, float)) and value > 0
+
+
+def non_negative(value: Any) -> bool:
+    return isinstance(value, (int, float)) and value >= 0

@@ -1,0 +1,32 @@
+"""Shared-memory and kernel-assisted single-copy mechanisms.
+
+The paper's transport choices (SSII-B, SSIII-C/D):
+
+* **XPMEM** — a process exposes address ranges; peers attach once (syscall +
+  page faults) and then access them with plain loads/stores, including
+  *reducing directly from peers' buffers*. Pays off only with a
+  registration cache that amortizes the attach cost.
+* **CMA / KNEM** — per-operation kernel copy calls; no mapping reuse, and
+  kernel-lock contention grows with node occupancy [28]. Copy-only: no
+  direct reduction.
+* **CICO** — plain shared segments with copy-in/copy-out; two copies per
+  transfer but no kernel involvement, which wins for small messages.
+
+The :class:`SmscEndpoint` mirrors OpenMPI's shared-memory-single-copy
+(SMSC) component: a per-process service that the p2p layer and the
+collectives delegate single-copy transfers to, configured for one of the
+mechanisms above.
+"""
+
+from .regcache import RegistrationCache
+from .xpmem import XpmemService
+from .segment import SharedSegment
+from .smsc import SmscConfig, SmscEndpoint
+
+__all__ = [
+    "RegistrationCache",
+    "XpmemService",
+    "SharedSegment",
+    "SmscConfig",
+    "SmscEndpoint",
+]

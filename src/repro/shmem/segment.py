@@ -1,0 +1,57 @@
+"""Plain shared-memory segments (the CICO substrate).
+
+Each process allocates a segment at communicator creation; peers attach
+once and cache the attachment for the communicator's lifetime (SSIV-C), so
+steady-state CICO transfers carry no kernel cost — only the two copies.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import ShmemError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..memory.address_space import AddressSpace, Buffer, BufView
+
+
+class SharedSegment:
+    """A shared allocation carved into named sub-regions.
+
+    Collectives reserve disjoint regions up front (data slots, per-peer
+    mailboxes); :meth:`region` hands out views by name.
+    """
+
+    def __init__(self, space: "AddressSpace", name: str, size: int) -> None:
+        self.owner_rank = space.rank
+        self.buf: "Buffer" = space.alloc(name, size, shared=True)
+        self._regions: dict[str, tuple[int, int]] = {}
+        self._cursor = 0
+
+    @property
+    def size(self) -> int:
+        return self.buf.size
+
+    def reserve(self, name: str, size: int, align: int = 64) -> "BufView":
+        """Carve a new region off the end of the segment."""
+        if name in self._regions:
+            raise ShmemError(f"region {name!r} already reserved")
+        start = -(-self._cursor // align) * align
+        if start + size > self.buf.size:
+            raise ShmemError(
+                f"segment {self.buf.name!r} overflow reserving {name!r} "
+                f"({start + size} > {self.buf.size})"
+            )
+        self._regions[name] = (start, size)
+        self._cursor = start + size
+        return self.buf.view(start, size)
+
+    def region(self, name: str) -> "BufView":
+        try:
+            start, size = self._regions[name]
+        except KeyError:
+            raise ShmemError(f"unknown region {name!r}") from None
+        return self.buf.view(start, size)
+
+    def has_region(self, name: str) -> bool:
+        return name in self._regions

@@ -1,0 +1,149 @@
+"""SMSC — the shared-memory-single-copy component.
+
+Mirrors OpenMPI's smsc framework: a per-process endpoint that performs
+single-copy transfers from (or reductions over) peer buffers, using one of
+the configured mechanisms:
+
+* ``"xpmem"``  — attach once (cached by the registration cache unless
+  disabled), then plain-load copies and direct reductions.
+* ``"cma"`` / ``"knem"`` — per-operation kernel copy; no reuse, kernel-lock
+  contention, and **no** direct reduction (copy-only semantics, SSII-B).
+* ``None`` — SMSC disabled; callers must fall back to copy-in-copy-out.
+
+All methods are generators to be driven with ``yield from`` inside a
+simulated process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
+
+from ..errors import ShmemError
+from ..sim import primitives as P
+from .regcache import RegistrationCache
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..memory.address_space import BufView
+    from ..node import Node
+    from .xpmem import XpmemService
+
+MECHANISMS = ("xpmem", "cma", "knem", None)
+
+
+@dataclass(frozen=True)
+class SmscConfig:
+    mechanism: str | None = "xpmem"
+    use_regcache: bool = True
+    regcache_capacity: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.mechanism not in MECHANISMS:
+            raise ShmemError(
+                f"unknown smsc mechanism {self.mechanism!r}; "
+                f"choose from {MECHANISMS}"
+            )
+
+
+class SmscEndpoint:
+    """Per-process single-copy service."""
+
+    def __init__(self, node: "Node", rank: int,
+                 config: SmscConfig | None = None) -> None:
+        self.node = node
+        self.rank = rank
+        self.config = config or SmscConfig()
+        self.regcache = RegistrationCache(self.config.regcache_capacity)
+
+    @property
+    def xpmem(self) -> "XpmemService":
+        return self.node.xpmem
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.mechanism is not None
+
+    @property
+    def can_reduce(self) -> bool:
+        """Only XPMEM permits reducing directly from peers' buffers."""
+        return self.config.mechanism == "xpmem"
+
+    # -- mapping ------------------------------------------------------------
+
+    def map_peer(self, view: "BufView") -> Iterator:
+        """Ensure ``view.buf`` is addressable; pays XPMEM attach on miss."""
+        mech = self.config.mechanism
+        if mech != "xpmem":
+            return  # CMA/KNEM need no mapping; CICO segments are pre-mapped.
+        buf = view.buf
+        if buf.owner_rank == self.rank or buf.shared:
+            return
+        if self.config.use_regcache:
+            if not self.regcache.lookup(buf):
+                yield from self.xpmem.attach(buf)
+                self.regcache.insert(buf)
+            else:
+                yield P.Compute(self.node.model.regcache_lookup_cost)
+        else:
+            yield from self.xpmem.attach(buf)
+
+    def _unmap_if_uncached(self, view: "BufView") -> Iterator:
+        if (self.config.mechanism == "xpmem"
+                and not self.config.use_regcache
+                and view.buf.owner_rank != self.rank
+                and not view.buf.shared):
+            yield from self.xpmem.detach(view.buf)
+
+    # -- transfers -----------------------------------------------------------
+
+    def copy_from(self, src: "BufView", dst: "BufView") -> Iterator:
+        """Single-copy ``src`` (a peer's buffer) into local ``dst``."""
+        mech = self.config.mechanism
+        if mech is None:
+            raise ShmemError("SMSC disabled; use a CICO path instead")
+        if mech == "xpmem":
+            yield from self.map_peer(src)
+            yield P.Copy(src=src, dst=dst)
+            yield from self._unmap_if_uncached(src)
+        elif mech == "cma":
+            yield P.Syscall("cma")
+            yield P.Copy(src=src, dst=dst,
+                         bw_factor=self.node.model.cma_bw_factor,
+                         in_kernel=True)
+        elif mech == "knem":
+            yield P.Syscall("knem")
+            yield P.Copy(src=src, dst=dst,
+                         bw_factor=self.node.model.knem_bw_factor,
+                         in_kernel=True)
+
+    def copy_to(self, src: "BufView", dst: "BufView") -> Iterator:
+        """Single-copy local ``src`` into a peer's ``dst`` (write-side)."""
+        mech = self.config.mechanism
+        if mech is None:
+            raise ShmemError("SMSC disabled; use a CICO path instead")
+        if mech == "xpmem":
+            yield from self.map_peer(dst)
+            yield P.Copy(src=src, dst=dst)
+            yield from self._unmap_if_uncached(dst)
+        else:
+            yield from self.copy_from(src, dst)  # kernel copies are symmetric
+
+    def reduce_from(
+        self,
+        srcs: Sequence["BufView"],
+        dst: "BufView",
+        op: Callable[..., Any] | None = None,
+        dtype: Any = None,
+        accumulate: bool = False,
+    ) -> Iterator:
+        """Reduce peers' buffers directly into ``dst`` (XPMEM only)."""
+        if not self.can_reduce:
+            raise ShmemError(
+                f"direct reduction requires xpmem, not "
+                f"{self.config.mechanism!r}; copy-in first"
+            )
+        for src in srcs:
+            yield from self.map_peer(src)
+        yield from self.map_peer(dst)
+        yield P.Reduce(srcs=tuple(srcs), dst=dst, op=op, dtype=dtype,
+                       accumulate=accumulate)

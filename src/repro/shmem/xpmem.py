@@ -1,0 +1,56 @@
+"""XPMEM (Cross-Partition Memory) service.
+
+Exposure (``xpmem_make``) is a one-time syscall by the owner. Attachment
+(``xpmem_get`` + ``xpmem_attach``) by a peer costs a syscall plus page
+faults over the mapped range; the mapping is then reusable with ordinary
+loads/stores until detached (SSII-B). Pages faulted on first touch are
+tracked so a re-attach after a detach pays the faults again.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from ..errors import ShmemError
+from ..sim import primitives as P
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..memory.address_space import Buffer
+    from ..node import Node
+
+
+class XpmemService:
+    """Node-global registry of exposed address ranges."""
+
+    def __init__(self, node: "Node") -> None:
+        self.node = node
+        self._exposed: set[int] = set()
+        self.makes = 0
+        self.attaches = 0
+        self.detaches = 0
+
+    def expose(self, buf: "Buffer") -> Iterator:
+        """Owner publishes ``buf`` (xpmem_make). Idempotent after the first."""
+        if buf.id in self._exposed:
+            return
+        self._exposed.add(buf.id)
+        self.makes += 1
+        yield P.Syscall("generic")
+
+    def is_exposed(self, buf: "Buffer") -> bool:
+        return buf.id in self._exposed
+
+    def attach(self, buf: "Buffer") -> Iterator:
+        """Peer maps ``buf`` (xpmem_get/attach + first-touch page faults)."""
+        if buf.id not in self._exposed and not buf.shared:
+            raise ShmemError(
+                f"attach to unexposed buffer {buf.name!r}; owner must "
+                f"expose() it first"
+            )
+        self.attaches += 1
+        yield P.Syscall("xpmem_attach")
+        yield P.PageFaults(self.node.pages_of(buf.size))
+
+    def detach(self, buf: "Buffer") -> Iterator:
+        self.detaches += 1
+        yield P.Syscall("xpmem_detach")

@@ -1,0 +1,36 @@
+"""Deterministic discrete-event simulation engine.
+
+Simulated MPI processes are Python generators pinned to cores; they yield
+:mod:`primitives <repro.sim.primitives>` (copies, flag waits, atomics,
+syscalls, compute) and the engine charges simulated time for each according
+to the machine's memory model, with bandwidth contention resolved through
+shared :mod:`resources <repro.sim.resources>`.
+
+Two runs of the same scenario produce identical event timelines: the event
+queue is ordered by ``(time, sequence)`` and no wall-clock or RNG state is
+consulted anywhere in the engine.
+"""
+
+from .primitives import (
+    AtomicRMW,
+    Compute,
+    Copy,
+    PageFaults,
+    Reduce,
+    SetFlag,
+    Syscall,
+    Trace,
+    WaitAtomic,
+    WaitFlag,
+)
+from .syncobj import Atomic, Flag, Line
+from .resources import Resource, ResourcePool
+from .engine import Engine, SimProcess
+
+__all__ = [
+    "Compute", "Copy", "Reduce", "SetFlag", "WaitFlag", "AtomicRMW",
+    "WaitAtomic", "Syscall", "PageFaults", "Trace",
+    "Flag", "Atomic", "Line",
+    "Resource", "ResourcePool",
+    "Engine", "SimProcess",
+]

@@ -1,0 +1,408 @@
+"""The discrete-event engine.
+
+The engine owns the event queue and the simulated processes; pricing of
+memory traffic is delegated to a *pricer* (the :class:`repro.node.Node`),
+which implements:
+
+``plan_copy(core, prim, now)``
+    -> ``(duration, [resources], complete_cb)``
+``plan_reduce(core, prim, now)``
+    -> same shape
+``line_read(core, line, t)``
+    -> absolute completion time of a line fetch started at ``t``
+``syscall_cost(kind)``, ``page_fault_cost(npages)``, ``store_cost``,
+``atomic_cost(core, line, now)`` -> ``(start, duration)``
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from typing import Any, Callable, Generator
+
+from ..errors import DeadlockError, SimulationError
+from . import primitives as P
+from .syncobj import Atomic, Flag
+
+
+class ProcState(enum.Enum):
+    READY = "ready"
+    BLOCKED = "blocked"
+    DONE = "done"
+
+
+class SimProcess:
+    """One simulated flow of control, pinned to a core."""
+
+    _ids = itertools.count()
+
+    __slots__ = ("pid", "name", "core", "gen", "state", "result",
+                 "finish_time", "blocked_on", "blocked_since", "wait_time",
+                 "wait_breakdown")
+
+    def __init__(self, name: str, core: int,
+                 gen: Generator[Any, Any, Any]) -> None:
+        self.pid = next(SimProcess._ids)
+        self.name = name
+        self.core = core
+        self.gen = gen
+        self.state = ProcState.READY
+        self.result: Any = None
+        self.finish_time: float | None = None
+        self.blocked_on: str | None = None
+        self.blocked_since: float = 0.0
+        # Total time spent blocked on flags/atomics, and a breakdown by
+        # the waited object's name prefix (e.g. "xhc.avail") — the first
+        # place to look when asking *why* a rank was slow.
+        self.wait_time: float = 0.0
+        self.wait_breakdown: dict[str, float] = {}
+
+    def __repr__(self) -> str:
+        return f"<proc {self.name} core={self.core} {self.state.value}>"
+
+
+class Engine:
+    """Deterministic event loop."""
+
+    def __init__(self, pricer, record_copies: bool = False) -> None:
+        self.pricer = pricer
+        self.now = 0.0
+        self._seq = itertools.count()
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self.processes: list[SimProcess] = []
+        self.trace: list[tuple[float, str, dict]] = []
+        self.record_copies = record_copies
+        self.events_processed = 0
+        self._running = False
+        # CPU occupancy horizon per core: several logical tasks may be
+        # pinned to one core (nonblocking sends, XHC's reducer/monitor
+        # roles), but their compute/copy work serializes on the core just
+        # as it does inside a real single-threaded progress loop.
+        self._core_busy: dict[int, float] = {}
+
+    # CPU work shorter than this slips between booked work for free: a
+    # few hundred nanoseconds of cache lookup or flag handling interleaves
+    # with a compute phase without waiting for a scheduling slot.
+    CPU_EPSILON = 2e-6
+
+    def _cpu_start(self, core: int, duration: float) -> float:
+        if duration < self.CPU_EPSILON:
+            return self.now
+        start = max(self.now, self._core_busy.get(core, 0.0))
+        self._core_busy[core] = start + duration
+        return start
+
+    # -- public API -----------------------------------------------------------
+
+    def spawn(self, gen: Generator, core: int, name: str = "") -> SimProcess:
+        proc = SimProcess(name or f"proc{len(self.processes)}", core, gen)
+        self.processes.append(proc)
+        self._schedule(self.now, lambda: self._resume(proc, None))
+        return proc
+
+    def run(self, until: float | None = None) -> float:
+        """Run to quiescence (or ``until``); returns the final time."""
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        try:
+            while self._heap:
+                t, _, fn = heapq.heappop(self._heap)
+                if until is not None and t > until:
+                    heapq.heappush(self._heap, (t, next(self._seq), fn))
+                    self.now = until
+                    return self.now
+                if t < self.now - 1e-18:
+                    raise SimulationError("time went backwards")  # pragma: no cover
+                self.now = t
+                self.events_processed += 1
+                fn()
+            self._check_deadlock()
+            return self.now
+        finally:
+            self._running = False
+
+    def alive(self) -> list[SimProcess]:
+        return [p for p in self.processes if p.state is not ProcState.DONE]
+
+    # -- internals -------------------------------------------------------------
+
+    def _schedule(self, t: float, fn: Callable[[], None]) -> None:
+        heapq.heappush(self._heap, (t, next(self._seq), fn))
+
+    def _check_deadlock(self) -> None:
+        stuck = self.alive()
+        if stuck:
+            detail = ", ".join(
+                f"{p.name}(on {p.blocked_on})" for p in stuck[:8]
+            )
+            raise DeadlockError(
+                f"{len(stuck)} process(es) still blocked at t={self.now:.3e}: "
+                f"{detail}"
+            )
+
+    def _resume(self, proc: SimProcess, send_value: Any) -> None:
+        if proc.state is ProcState.BLOCKED:
+            waited = self.now - proc.blocked_since
+            proc.wait_time += waited
+            key = (proc.blocked_on or "?").split(">")[0].strip()
+            key = key.rsplit(".", 1)[0] if "." in key else key
+            proc.wait_breakdown[key] = \
+                proc.wait_breakdown.get(key, 0.0) + waited
+        proc.state = ProcState.READY
+        proc.blocked_on = None
+        try:
+            prim = proc.gen.send(send_value)
+        except StopIteration as stop:
+            proc.state = ProcState.DONE
+            proc.result = stop.value
+            proc.finish_time = self.now
+            return
+        self._dispatch(proc, prim)
+
+    # -- primitive dispatch ------------------------------------------------
+
+    def _dispatch(self, proc: SimProcess, prim: Any) -> None:
+        handler = self._HANDLERS.get(type(prim))
+        if handler is None:
+            raise SimulationError(
+                f"process {proc.name} yielded non-primitive {prim!r}"
+            )
+        handler(self, proc, prim)
+
+    # Long compute phases are booked in slices so that concurrent tasks on
+    # the same core (nonblocking-collective progress, XHC's helper roles)
+    # interleave with them — the effect of an application driving MPI
+    # progress periodically, or of OS timeslicing a progress thread.
+    COMPUTE_QUANTUM = 50e-6
+
+    def _h_compute(self, proc: SimProcess, prim: P.Compute) -> None:
+        if prim.seconds < 0:
+            raise SimulationError("negative compute time")
+        if prim.seconds <= self.COMPUTE_QUANTUM:
+            start = self._cpu_start(proc.core, prim.seconds)
+            self._schedule(start + prim.seconds,
+                           lambda: self._resume(proc, None))
+            return
+        self._compute_slice(proc, prim.seconds)
+
+    def _compute_slice(self, proc: SimProcess, remaining: float) -> None:
+        slice_ = min(self.COMPUTE_QUANTUM, remaining)
+        start = self._cpu_start(proc.core, slice_)
+
+        def finish() -> None:
+            left = remaining - slice_
+            if left > 1e-15:
+                self._compute_slice(proc, left)
+            else:
+                self._resume(proc, None)
+
+        self._schedule(start + slice_, finish)
+
+    # Long copies are re-priced in quanta so bandwidth shares track the
+    # changing set of concurrent users (approximate fluid fair sharing).
+    COPY_QUANTUM = 64 * 1024
+
+    def _h_copy(self, proc: SimProcess, prim: P.Copy) -> None:
+        if prim.nbytes > self.COPY_QUANTUM:
+            self._copy_quantum(proc, prim, 0)
+            return
+        duration, resources, complete = self.pricer.plan_copy(
+            proc.core, prim, self.now
+        )
+        self._start_transfer(proc, prim, duration, resources, complete)
+
+    def _copy_quantum(self, proc: SimProcess, prim: P.Copy, done: int) -> None:
+        total = prim.nbytes
+        n = min(self.COPY_QUANTUM, total - done)
+        sub = P.Copy(src=prim.src.sub(done, n), dst=prim.dst.sub(done, n),
+                     bw_factor=prim.bw_factor, in_kernel=prim.in_kernel)
+        duration, resources, complete = self.pricer.plan_copy(
+            proc.core, sub, self.now
+        )
+        pool = self.pricer.resources
+        start = self._cpu_start(proc.core, duration)
+
+        def begin() -> None:
+            for res in resources:
+                res.acquire()
+            if prim.in_kernel:
+                pool.kernel_ops += 1
+
+        def finish() -> None:
+            for res in resources:
+                res.release()
+                res.bytes_served += n
+            if prim.in_kernel:
+                pool.kernel_ops -= 1
+            if complete is not None:
+                complete()
+            if done + n < total:
+                self._copy_quantum(proc, prim, done + n)
+            else:
+                if self.record_copies:
+                    self.trace.append(
+                        (self.now, "copy",
+                         {"core": proc.core, "nbytes": total})
+                    )
+                self._resume(proc, None)
+
+        if start > self.now:
+            self._schedule(start, begin)
+        else:
+            begin()
+        self._schedule(start + duration, finish)
+
+    def _h_reduce(self, proc: SimProcess, prim: P.Reduce) -> None:
+        duration, resources, complete = self.pricer.plan_reduce(
+            proc.core, prim, self.now
+        )
+        self._start_transfer(proc, prim, duration, resources, complete)
+
+    def _start_transfer(self, proc, prim, duration, resources, complete) -> None:
+        """Book the core, then hold the path resources only while the
+        transfer actually runs — a transfer queued behind other work on
+        its core must not inflate everyone else's contention meanwhile."""
+        in_kernel = getattr(prim, "in_kernel", False)
+        pool = self.pricer.resources
+        start = self._cpu_start(proc.core, duration)
+
+        def begin() -> None:
+            for res in resources:
+                res.acquire()
+            if in_kernel:
+                pool.kernel_ops += 1
+
+        def finish() -> None:
+            for res in resources:
+                res.release()
+                res.bytes_served += prim.nbytes
+            if in_kernel:
+                pool.kernel_ops -= 1
+            if complete is not None:
+                complete()
+            if self.record_copies:
+                self.trace.append(
+                    (self.now, "copy",
+                     {"core": proc.core, "nbytes": prim.nbytes})
+                )
+            self._resume(proc, None)
+
+        if start > self.now:
+            self._schedule(start, begin)
+        else:
+            begin()
+        self._schedule(start + duration, finish)
+
+    def _h_set_flag(self, proc: SimProcess, prim: P.SetFlag) -> None:
+        flag = prim.flag
+        if proc.core != flag.owner_core:
+            raise SimulationError(
+                f"single-writer violation: core {proc.core} wrote flag "
+                f"{flag.name!r} owned by core {flag.owner_core}"
+            )
+        flag.value = prim.value
+        flag.line.on_write(proc.core)
+        self._wake_waiters(flag)
+        self._schedule(
+            self.now + self.pricer.store_cost, lambda: self._resume(proc, None)
+        )
+
+    def _h_set_flag_group(self, proc: SimProcess,
+                          prim: P.SetFlagGroup) -> None:
+        lines = []
+        for flag in prim.flags:
+            if proc.core != flag.owner_core:
+                raise SimulationError(
+                    f"single-writer violation: core {proc.core} wrote flag "
+                    f"{flag.name!r} owned by core {flag.owner_core}"
+                )
+            flag.value = prim.value
+            if flag.line not in lines:
+                lines.append(flag.line)
+        for line in lines:
+            line.on_write(proc.core)
+        for flag in prim.flags:
+            self._wake_waiters(flag)
+        cost = self.pricer.store_cost * len(prim.flags)
+        self._schedule(self.now + cost, lambda: self._resume(proc, None))
+
+    def _h_wait_flag(self, proc: SimProcess, prim: P.WaitFlag) -> None:
+        flag = prim.flag
+        if flag.satisfied(prim.value, prim.cmp):
+            t = self.pricer.line_read(proc.core, flag.line, self.now)
+            self._schedule(t, lambda: self._resume(proc, None))
+        else:
+            proc.state = ProcState.BLOCKED
+            proc.blocked_on = f"flag {flag.name}>={prim.value}"
+            proc.blocked_since = self.now
+            flag.waiters.append((proc, prim.value, prim.cmp))
+
+    def _h_atomic_rmw(self, proc: SimProcess, prim: P.AtomicRMW) -> None:
+        atom = prim.atom
+        line = atom.line
+        line.pending_rmw += 1
+        start, duration = self.pricer.atomic_cost(proc.core, line, self.now)
+        old = atom.value
+        atom.value = old + prim.delta
+        line.on_write(proc.core)
+        self._wake_waiters(atom)
+
+        def finish() -> None:
+            line.pending_rmw -= 1
+            self._resume(proc, old)
+
+        self._schedule(start + duration, finish)
+
+    def _h_wait_atomic(self, proc: SimProcess, prim: P.WaitAtomic) -> None:
+        atom = prim.atom
+        if atom.satisfied(prim.value, prim.cmp):
+            t = self.pricer.line_read(proc.core, atom.line, self.now)
+            self._schedule(t, lambda: self._resume(proc, None))
+        else:
+            proc.state = ProcState.BLOCKED
+            proc.blocked_on = f"atomic {atom.name}>={prim.value}"
+            proc.blocked_since = self.now
+            atom.waiters.append((proc, prim.value, prim.cmp))
+
+    def _wake_waiters(self, obj: Flag | Atomic) -> None:
+        if not obj.waiters:
+            return
+        still_blocked = []
+        for proc, threshold, cmp in obj.waiters:
+            if obj.satisfied(threshold, cmp):
+                t = self.pricer.line_read(proc.core, obj.line, self.now)
+                self._schedule(t, lambda p=proc: self._resume(p, None))
+            else:
+                still_blocked.append((proc, threshold, cmp))
+        obj.waiters[:] = still_blocked
+
+    def _h_syscall(self, proc: SimProcess, prim: P.Syscall) -> None:
+        cost = self.pricer.syscall_cost(prim.kind)
+        self._schedule(self.now + cost, lambda: self._resume(proc, None))
+
+    def _h_page_faults(self, proc: SimProcess, prim: P.PageFaults) -> None:
+        cost = self.pricer.page_fault_cost(prim.npages)
+        self._schedule(self.now + cost, lambda: self._resume(proc, None))
+
+    def _h_trace(self, proc: SimProcess, prim: P.Trace) -> None:
+        self.trace.append((self.now, prim.label, prim.meta))
+        self._resume(proc, None)
+
+    _HANDLERS: dict[type, Callable] = {}
+
+
+Engine._HANDLERS = {
+    P.Compute: Engine._h_compute,
+    P.Copy: Engine._h_copy,
+    P.Reduce: Engine._h_reduce,
+    P.SetFlag: Engine._h_set_flag,
+    P.SetFlagGroup: Engine._h_set_flag_group,
+    P.WaitFlag: Engine._h_wait_flag,
+    P.AtomicRMW: Engine._h_atomic_rmw,
+    P.WaitAtomic: Engine._h_wait_atomic,
+    P.Syscall: Engine._h_syscall,
+    P.PageFaults: Engine._h_page_faults,
+    P.Trace: Engine._h_trace,
+}

@@ -1,0 +1,139 @@
+"""Yieldable simulation primitives.
+
+A simulated process is a generator; each ``yield`` hands one of these
+objects to the engine, which charges the corresponding simulated time and
+resumes the generator (``AtomicRMW`` sends the pre-increment value back).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..memory.address_space import BufView
+    from .syncobj import Atomic, Flag
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Occupy the CPU for a fixed simulated duration."""
+
+    seconds: float
+
+
+@dataclass(frozen=True)
+class Copy:
+    """Copy ``nbytes`` from ``src`` to ``dst``, executed by this process's core.
+
+    Priced by where the source bytes currently are (cache model) and the
+    contention on the path. ``bw_factor`` scales the achievable bandwidth
+    (kernel-assisted copy engines run below user-space memcpy speed).
+    ``in_kernel`` marks CMA/KNEM copies that hold kernel locks and thereby
+    contribute to (and suffer from) kernel-lock contention.
+    """
+
+    src: "BufView"
+    dst: "BufView"
+    bw_factor: float = 1.0
+    in_kernel: bool = False
+
+    @property
+    def nbytes(self) -> int:
+        return min(self.src.length, self.dst.length)
+
+
+@dataclass(frozen=True)
+class Reduce:
+    """Fetch every source view and reduce them into ``dst``.
+
+    Models the single-copy reduction XPMEM permits: operands are read
+    directly from peers' buffers (each priced like a :class:`Copy` read)
+    and combined at ``reduce_bw``. ``accumulate=True`` reduces the sources
+    *into* dst's current contents instead of overwriting.
+    """
+
+    srcs: tuple["BufView", ...]
+    dst: "BufView"
+    op: Callable[..., Any] | None = None  # numpy ufunc, e.g. np.add
+    dtype: Any = None                      # element dtype, default float32
+    accumulate: bool = False
+
+    @property
+    def nbytes(self) -> int:
+        return self.dst.length
+
+
+@dataclass(frozen=True)
+class SetFlag:
+    """Single-writer flag update (store + peer-copy invalidation)."""
+
+    flag: "Flag"
+    value: int
+
+
+@dataclass(frozen=True)
+class SetFlagGroup:
+    """Back-to-back single-writer updates of several same-owner flags.
+
+    Models a tight store loop: each store is charged, but a cache line
+    carrying several of the flags is invalidated once (the stores complete
+    long before any reader's fetch lands), so readers of a shared line
+    keep their LLC-assist (Fig. 10's "shared" layout)."""
+
+    flags: tuple["Flag", ...]
+    value: int
+
+
+@dataclass(frozen=True)
+class WaitFlag:
+    """Block until ``flag`` satisfies ``value`` under ``cmp``.
+
+    ``cmp`` is one of ``">="``, ``"=="``. The waiter pays the line-fetch
+    cost on wake-up, serialized at the line's home point when the line is
+    not already shared locally.
+    """
+
+    flag: "Flag"
+    value: int
+    cmp: str = ">="
+
+
+@dataclass(frozen=True)
+class AtomicRMW:
+    """Atomic fetch-and-add; the engine sends the *old* value back."""
+
+    atom: "Atomic"
+    delta: int = 1
+
+
+@dataclass(frozen=True)
+class WaitAtomic:
+    """Block until the atomic's value satisfies ``value`` under ``cmp``."""
+
+    atom: "Atomic"
+    value: int
+    cmp: str = ">="
+
+
+@dataclass(frozen=True)
+class Syscall:
+    """Enter the kernel. ``kind`` selects the mechanism-specific cost and
+    whether the call contends on kernel locks (CMA/KNEM, per [28])."""
+
+    kind: str = "generic"  # generic | cma | knem | xpmem_attach | xpmem_detach
+
+
+@dataclass(frozen=True)
+class PageFaults:
+    """First-touch page faults of a fresh XPMEM mapping."""
+
+    npages: int
+
+
+@dataclass(frozen=True)
+class Trace:
+    """Zero-cost annotation recorded in the engine trace (Table II counts)."""
+
+    label: str
+    meta: dict = field(default_factory=dict)

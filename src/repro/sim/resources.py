@@ -1,0 +1,94 @@
+"""Shared bandwidth resources and contention accounting.
+
+Every bulk transfer passes through one or more bottleneck resources — the
+DRAM channels of the source NUMA node, the read port of a source LLC group,
+the socket fabric, the inter-socket link, or the ARM system-level cache.
+A resource divides its bandwidth equally among concurrent users (sampled at
+transfer start; chunk-granularity operation keeps the approximation close
+to fluid fair sharing). This is what produces the fan-in congestion of
+Fig. 1b and the localized-traffic benefit of hierarchical algorithms.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+from ..topology.objects import ObjKind, Topology
+from ..memory.model import MachineModel
+
+
+class Resource:
+    """A shared bandwidth point."""
+
+    __slots__ = ("name", "bw", "active", "peak_active", "bytes_served")
+
+    def __init__(self, name: str, bw: float) -> None:
+        if bw <= 0:
+            raise SimulationError(f"resource {name!r} needs positive bandwidth")
+        self.name = name
+        self.bw = bw
+        self.active = 0
+        self.peak_active = 0
+        self.bytes_served = 0
+
+    def acquire(self) -> None:
+        self.active += 1
+        if self.active > self.peak_active:
+            self.peak_active = self.active
+
+    def release(self) -> None:
+        if self.active <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        self.active -= 1
+
+    def effective_bw(self) -> float:
+        """Share available to one more/current user."""
+        return self.bw / max(1, self.active)
+
+    def __repr__(self) -> str:
+        return f"<Resource {self.name} bw={self.bw:.2e} active={self.active}>"
+
+
+class ResourcePool:
+    """All contention points of one machine, indexed by topology object."""
+
+    def __init__(self, topo: Topology, model: MachineModel) -> None:
+        self.topo = topo
+        self.model = model
+        self.dram: dict[int, Resource] = {
+            numa.index: Resource(f"dram:numa{numa.index}", model.numa_mem_bw)
+            for numa in topo.objects(ObjKind.NUMA)
+        }
+        self.llc_port: dict[int, Resource] = {}
+        if model.llc_port_bw > 0:
+            for llc in topo.objects(ObjKind.LLC):
+                self.llc_port[llc.index] = Resource(
+                    f"llcport:llc{llc.index}", model.llc_port_bw
+                )
+        self.fabric: dict[int, Resource] = {
+            sock.index: Resource(f"fabric:sock{sock.index}", model.socket_fabric_bw)
+            for sock in topo.objects(ObjKind.SOCKET)
+        }
+        self.slc: dict[int, Resource] = {}
+        if model.slc_bw > 0:
+            for sock in topo.objects(ObjKind.SOCKET):
+                self.slc[sock.index] = Resource(
+                    f"slc:sock{sock.index}", model.slc_bw
+                )
+        self.xlink = Resource("xlink", model.inter_socket_bw)
+        # Number of in-flight kernel-assisted (CMA/KNEM) operations; drives
+        # the kernel-lock contention term of [28].
+        self.kernel_ops = 0
+
+    def all_resources(self) -> list[Resource]:
+        out: list[Resource] = []
+        out.extend(self.dram.values())
+        out.extend(self.llc_port.values())
+        out.extend(self.fabric.values())
+        out.extend(self.slc.values())
+        out.append(self.xlink)
+        return out
+
+    def reset_stats(self) -> None:
+        for res in self.all_resources():
+            res.peak_active = 0
+            res.bytes_served = 0

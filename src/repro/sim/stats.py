@@ -1,0 +1,70 @@
+"""Engine statistics: where did the simulated time go?
+
+Collects per-core busy time, event counts by primitive kind, flag traffic
+and XPMEM counters into one report — the first thing to look at when a
+collective is slower than expected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..node import Node
+
+
+@dataclass
+class RunStats:
+    sim_time: float
+    events: int
+    processes: int
+    processes_done: int
+    core_busy: dict[int, float] = field(default_factory=dict)
+    xpmem_makes: int = 0
+    xpmem_attaches: int = 0
+    xpmem_detaches: int = 0
+    messages: int = 0
+    message_bytes: int = 0
+
+    @property
+    def mean_core_utilization(self) -> float:
+        if not self.core_busy or self.sim_time <= 0:
+            return 0.0
+        return (sum(self.core_busy.values())
+                / (len(self.core_busy) * self.sim_time))
+
+    def render(self) -> str:
+        lines = [
+            f"simulated time     {self.sim_time * 1e6:12.2f} us",
+            f"events processed   {self.events:12d}",
+            f"processes          {self.processes:12d} "
+            f"({self.processes_done} finished)",
+            f"mean core busy     {100 * self.mean_core_utilization:11.1f} %",
+            f"xpmem make/attach  {self.xpmem_makes:6d} /"
+            f" {self.xpmem_attaches:6d}",
+            f"logical messages   {self.messages:12d} "
+            f"({self.message_bytes} bytes)",
+        ]
+        return "\n".join(lines)
+
+
+def collect_stats(node: "Node") -> RunStats:
+    """Snapshot the node's engine/transport counters."""
+    engine = node.engine
+    busy = dict(engine._core_busy)
+    msgs = [m for _t, label, m in engine.trace if label == "message"]
+    done = sum(1 for p in engine.processes
+               if p.finish_time is not None)
+    return RunStats(
+        sim_time=engine.now,
+        events=engine.events_processed,
+        processes=len(engine.processes),
+        processes_done=done,
+        core_busy={c: min(t, engine.now) for c, t in busy.items()},
+        xpmem_makes=node.xpmem.makes,
+        xpmem_attaches=node.xpmem.attaches,
+        xpmem_detaches=node.xpmem.detaches,
+        messages=len(msgs),
+        message_bytes=sum(m.get("nbytes", 0) for m in msgs),
+    )

@@ -1,0 +1,130 @@
+"""Synchronization state objects: cache lines, flags, atomics.
+
+The paper's XHC synchronizes with control flags that have a *single
+writer* and one or more readers, carefully placed on cache lines to avoid
+false sharing (SSIII-E). Its `sm`-style baselines use atomic fetch-add
+instead, which collapses under contention (Fig. 4). Both behaviours follow
+from the :class:`Line` coherence model here:
+
+* a write invalidates all cached copies and makes the writer's caches the
+  line's only home;
+* a reader missing everywhere fetches from the home point, **serialized**
+  (one line transaction at a time — the fan-in queue);
+* on machines with shared LLC groups, one group member's fetch deposits
+  the line in the group cache, so its LLC peers read it locally — the
+  implicit hierarchy-in-hardware of SSV-D1;
+* on ARM-N1 there is no such group cache: every reader queues at the
+  single home location.
+* an atomic RMW needs exclusive ownership: contenders queue at the line
+  and each pays the ownership ping-pong from the previous owner.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING
+
+from ..errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import SimProcess
+
+
+class Line:
+    """Coherence state of one cache line (may carry several flags)."""
+
+    _ids = itertools.count()
+
+    __slots__ = ("id", "owner_core", "next_free", "holders", "shared_holders",
+                 "pending_rmw")
+
+    def __init__(self, owner_core: int) -> None:
+        self.id = next(Line._ids)
+        # Core whose caches are the line's home after the last write.
+        self.owner_core = owner_core
+        # Home-point serialization horizon for fetches/atomics.
+        self.next_free = 0.0
+        # Cores currently holding a valid copy.
+        self.holders: set[int] = {owner_core}
+        # Shared caches (LLC-group ids) holding a valid copy (Epyc only).
+        self.shared_holders: set[int] = set()
+        # Concurrent atomic RMWs targeting this line: ownership ping-pong
+        # interference grows with the number of contenders.
+        self.pending_rmw = 0
+
+    def on_write(self, core: int) -> None:
+        """Writer invalidates everyone else and becomes the home."""
+        self.owner_core = core
+        self.holders = {core}
+        self.shared_holders.clear()
+
+
+class Flag:
+    """Single-writer, multi-reader control flag.
+
+    ``owner_core`` is fixed at creation; only the owner may ``SetFlag``.
+    Several flags may share one :class:`Line` (the Fig. 10 experiment), in
+    which case a write to any of them invalidates readers of all of them.
+    """
+
+    _ids = itertools.count()
+
+    __slots__ = ("id", "name", "owner_core", "line", "value", "waiters")
+
+    def __init__(self, name: str, owner_core: int, line: Line | None = None):
+        self.id = next(Flag._ids)
+        self.name = name
+        self.owner_core = owner_core
+        self.line = line if line is not None else Line(owner_core)
+        self.value = 0
+        # Blocked readers: (process, threshold, cmp).
+        self.waiters: list[tuple["SimProcess", int, str]] = []
+
+    def satisfied(self, threshold: int, cmp: str) -> bool:
+        return _compare(self.value, threshold, cmp)
+
+    def reset(self, value: int = 0) -> None:
+        if self.waiters:
+            raise SimulationError(
+                f"reset of flag {self.name!r} with blocked waiters"
+            )
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"<Flag {self.name!r} ={self.value} owner=core{self.owner_core}>"
+
+
+class Atomic:
+    """A counter updated with atomic read-modify-write operations."""
+
+    _ids = itertools.count()
+
+    __slots__ = ("id", "name", "line", "value", "waiters")
+
+    def __init__(self, name: str, home_core: int, line: Line | None = None):
+        self.id = next(Atomic._ids)
+        self.name = name
+        self.line = line if line is not None else Line(home_core)
+        self.value = 0
+        self.waiters: list[tuple["SimProcess", int, str]] = []
+
+    def satisfied(self, threshold: int, cmp: str) -> bool:
+        return _compare(self.value, threshold, cmp)
+
+    def reset(self, value: int = 0) -> None:
+        if self.waiters:
+            raise SimulationError(
+                f"reset of atomic {self.name!r} with blocked waiters"
+            )
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"<Atomic {self.name!r} ={self.value}>"
+
+
+def _compare(value: int, threshold: int, cmp: str) -> bool:
+    if cmp == ">=":
+        return value >= threshold
+    if cmp == "==":
+        return value == threshold
+    raise SimulationError(f"unsupported flag comparison {cmp!r}")

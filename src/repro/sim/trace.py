@@ -1,0 +1,147 @@
+"""Trace analysis: message accounting, timelines, utilization.
+
+The engine records zero-cost :class:`~repro.sim.primitives.Trace` events
+(collectives emit one ``"message"`` per logical transfer) and, with
+``record_copies=True``, every completed copy. This module turns those
+records into the reports the paper's methodology needs:
+
+* :func:`message_matrix` / :func:`count_message_distances` — the Table II
+  analysis, for any run;
+* :class:`Timeline` — per-rank activity spans, renderable as a text Gantt
+  chart for debugging pipelining behaviour;
+* :func:`resource_report` — peak concurrency and bytes served per
+  contention point (which link actually bottlenecked).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..topology.distance import message_distance_label
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..node import Node
+    from .engine import Engine
+
+
+def messages(engine: "Engine") -> list[dict]:
+    """All logical-message records of a run."""
+    return [meta for _t, label, meta in engine.trace if label == "message"]
+
+
+def message_matrix(engine: "Engine", nranks: int) -> list[list[int]]:
+    """matrix[src][dst] = number of logical messages sent."""
+    matrix = [[0] * nranks for _ in range(nranks)]
+    for meta in messages(engine):
+        matrix[meta["src_rank"]][meta["dst_rank"]] += 1
+    return matrix
+
+
+def count_message_distances(node: "Node",
+                            unique_edges: bool = True) -> dict[str, int]:
+    """Table II's classification: message counts per distance class.
+
+    ``unique_edges`` counts each (src, dst) pair once (the paper counts
+    tree edges, not per-segment traffic).
+    """
+    topo = node.topo
+    counts: Counter = Counter({"intra-numa": 0, "inter-numa": 0,
+                               "inter-socket": 0})
+    seen: set = set()
+    for meta in messages(node.engine):
+        key = (meta["src_rank"], meta["dst_rank"])
+        if unique_edges:
+            if key in seen:
+                continue
+            seen.add(key)
+        counts[message_distance_label(topo, meta["src"], meta["dst"])] += 1
+    return dict(counts)
+
+
+def bytes_by_distance(node: "Node") -> dict[str, int]:
+    """Total logical-message payload per distance class."""
+    topo = node.topo
+    out: Counter = Counter()
+    for meta in messages(node.engine):
+        label = message_distance_label(topo, meta["src"], meta["dst"])
+        out[label] += meta.get("nbytes", 0)
+    return dict(out)
+
+
+@dataclass
+class Span:
+    start: float
+    end: float
+    label: str
+
+
+@dataclass
+class Timeline:
+    """Per-core activity spans assembled from copy records."""
+
+    spans: dict[int, list[Span]] = field(default_factory=dict)
+    end_time: float = 0.0
+
+    @classmethod
+    def from_engine(cls, engine: "Engine") -> "Timeline":
+        """Build from copy records (requires ``record_copies=True``)."""
+        tl = cls()
+        for t, label, meta in engine.trace:
+            if label != "copy":
+                continue
+            core = meta["core"]
+            tl.spans.setdefault(core, []).append(
+                Span(start=t, end=t, label=f"{meta['nbytes']}B")
+            )
+            tl.end_time = max(tl.end_time, t)
+        return tl
+
+    def busy_events(self, core: int) -> int:
+        return len(self.spans.get(core, []))
+
+    def render(self, width: int = 72, cores: list[int] | None = None) -> str:
+        """A coarse text Gantt: one row per core, '#' where copies landed."""
+        if not self.spans or self.end_time <= 0:
+            return "(no copy records; run with record_copies=True)"
+        rows = []
+        selected = sorted(self.spans) if cores is None else cores
+        for core in selected:
+            cells = [" "] * width
+            for span in self.spans.get(core, []):
+                idx = min(width - 1, int(width * span.start / self.end_time))
+                cells[idx] = "#"
+            rows.append(f"core {core:4d} |{''.join(cells)}|")
+        return "\n".join(rows)
+
+
+def wait_report(engine: "Engine", top: int = 10) -> list[dict]:
+    """Where ranks spent their blocked time, aggregated by wait target.
+
+    The first diagnostic for "why is this collective slow": a dominant
+    ``xhc.avail`` entry means ranks starve on fan-out progress, a dominant
+    ``p2p.fin`` means senders stall on rendezvous completion, etc.
+    """
+    agg: dict[str, float] = {}
+    for proc in engine.processes:
+        for key, t in proc.wait_breakdown.items():
+            agg[key] = agg.get(key, 0.0) + t
+    out = [{"target": k, "total_wait_s": v} for k, v in agg.items()]
+    out.sort(key=lambda r: -r["total_wait_s"])
+    return out[:top]
+
+
+def resource_report(node: "Node") -> list[dict]:
+    """Peak concurrency + bytes served for every contention resource."""
+    out = []
+    for res in node.resources.all_resources():
+        if res.peak_active or res.bytes_served:
+            out.append({
+                "name": res.name,
+                "bw": res.bw,
+                "peak_active": res.peak_active,
+                "bytes_served": res.bytes_served,
+            })
+    out.sort(key=lambda r: -r["bytes_served"])
+    return out

@@ -1,0 +1,14 @@
+"""Synchronization substrate: single-writer flags, atomics, barriers.
+
+XHC's control path uses flags with a single owner-writer and one or more
+readers, placed on cache lines so that false sharing is avoided where
+harmful — and exploited where helpful (Fig. 10). The atomics here model the
+fetch-add-based schemes whose contention collapse the paper demonstrates
+(Fig. 4, `sm` on ARM-N1).
+"""
+
+from .flags import FlagAllocator, wmb, rmb
+from .atomics import AtomicAllocator
+from .barriers import flat_barrier
+
+__all__ = ["FlagAllocator", "AtomicAllocator", "wmb", "rmb", "flat_barrier"]

@@ -1,0 +1,23 @@
+"""Atomic counters (the contention-prone alternative to single-writer flags).
+
+Used by the `sm`-style baselines and by the Fig. 4 motivational experiment.
+Every fetch-add requires exclusive line ownership: contenders queue at the
+line and pay the ownership ping-pong from the previous owner — which is
+exactly why atomics-based synchronization collapses at high core counts.
+"""
+
+from __future__ import annotations
+
+from ..sim.syncobj import Atomic, Line
+
+
+class AtomicAllocator:
+    """Creates atomics, one cache line each (packing them would only make
+    the contention worse; the baselines we model do not pack them)."""
+
+    def __init__(self, namespace: str = "") -> None:
+        self.namespace = namespace
+
+    def atomic(self, name: str, home_core: int, line: Line | None = None) -> Atomic:
+        full = f"{self.namespace}{name}" if self.namespace else name
+        return Atomic(full, home_core, line)

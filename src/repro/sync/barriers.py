@@ -1,0 +1,38 @@
+"""Barrier building blocks over single-writer flags.
+
+A flat dissemination-free barrier: every participant bumps a personal
+arrival flag (single writer: itself), the designated root waits for all of
+them and bumps a release flag everyone else waits on. Monotonic counters
+make the structures reusable across episodes with no reset races.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..sim import primitives as P
+from ..sim.syncobj import Flag
+
+
+class FlatBarrierState:
+    """Shared state for a group of participants."""
+
+    def __init__(self, cores: list[int], root_index: int = 0) -> None:
+        self.cores = cores
+        self.root_index = root_index
+        self.arrive: list[Flag] = [
+            Flag(f"bar.arrive.{i}", core) for i, core in enumerate(cores)
+        ]
+        self.release = Flag("bar.release", cores[root_index])
+
+
+def flat_barrier(state: FlatBarrierState, index: int, episode: int) -> Iterator:
+    """One participant's barrier episode (0-based ``episode`` counter)."""
+    yield P.SetFlag(state.arrive[index], episode + 1)
+    if index == state.root_index:
+        for i in range(len(state.cores)):
+            if i != index:
+                yield P.WaitFlag(state.arrive[i], episode + 1)
+        yield P.SetFlag(state.release, episode + 1)
+    else:
+        yield P.WaitFlag(state.release, episode + 1)

@@ -1,0 +1,68 @@
+"""Single-writer flag allocation with explicit cache-line placement.
+
+Three placement policies, matching the Fig. 10 experiment:
+
+* ``"separate"`` — every flag on its own cache line (no false sharing;
+  every reader fetches from the writer's home point).
+* ``"shared"`` — a set of flags packed on one line (readers of *any* of
+  them benefit from a same-LLC peer's fetch — and suffer invalidation when
+  any of them is written).
+* a caller-provided :class:`~repro.sim.syncobj.Line` for custom layouts.
+
+Memory barriers: the simulator executes each process's primitives in
+program order, so ``wmb``/``rmb`` are correctness no-ops; they exist so
+algorithm code documents its ordering requirements exactly where the real
+implementation needs fences (SSIII-E), and they charge the (tiny) fence
+cost.
+"""
+
+from __future__ import annotations
+
+from ..sim import primitives as P
+from ..sim.syncobj import Flag, Line
+
+FENCE_COST = 5e-9
+
+
+class FlagAllocator:
+    """Creates flags with a chosen cache-line placement policy."""
+
+    def __init__(self, namespace: str = "") -> None:
+        self.namespace = namespace
+        self._count = 0
+
+    def _name(self, name: str) -> str:
+        self._count += 1
+        return f"{self.namespace}{name}" if self.namespace else name
+
+    def flag(self, name: str, owner_core: int, line: Line | None = None) -> Flag:
+        """One flag; on its own line unless ``line`` is given."""
+        return Flag(self._name(name), owner_core, line)
+
+    def flag_group(
+        self,
+        names: list[str],
+        owner_core: int,
+        placement: str = "separate",
+    ) -> list[Flag]:
+        """A family of same-owner flags, placed per ``placement``.
+
+        ``"shared"`` packs all of them on one cache line; ``"separate"``
+        gives each its own line.
+        """
+        if placement == "shared":
+            line = Line(owner_core)
+            return [self.flag(n, owner_core, line) for n in names]
+        if placement == "separate":
+            return [self.flag(n, owner_core) for n in names]
+        raise ValueError(f"unknown flag placement {placement!r}")
+
+
+def wmb() -> P.Compute:
+    """Write memory barrier (documentational; charges the fence cost)."""
+    return P.Compute(FENCE_COST)
+
+
+def rmb() -> P.Compute:
+    """Read memory barrier (documentational; charges the fence cost)."""
+    return P.Compute(FENCE_COST)

@@ -1,0 +1,34 @@
+"""hwloc-like node topology model.
+
+The paper relies on Portable Hardware Locality (hwloc) to discover the
+internal node structure — sockets, NUMA nodes, shared last-level caches and
+cores (SSIII-A). This package provides the equivalent substrate: an object
+tree with the same vocabulary, query helpers, and the three evaluation
+systems of Table I.
+"""
+
+from .objects import ObjKind, TopoObject, Topology
+from .builder import TopologyBuilder, build_symmetric
+from .distance import Distance, classify_distance
+from .systems import (
+    SYSTEMS,
+    arm_n1,
+    epyc_1p,
+    epyc_2p,
+    get_system,
+)
+
+__all__ = [
+    "ObjKind",
+    "TopoObject",
+    "Topology",
+    "TopologyBuilder",
+    "build_symmetric",
+    "Distance",
+    "classify_distance",
+    "SYSTEMS",
+    "epyc_1p",
+    "epyc_2p",
+    "arm_n1",
+    "get_system",
+]

@@ -1,0 +1,95 @@
+"""Builders for topology trees.
+
+Most real machines are symmetric at each level, so :func:`build_symmetric`
+covers the common case (including all three Table I systems). The
+:class:`TopologyBuilder` supports irregular trees for tests and what-if
+studies.
+"""
+
+from __future__ import annotations
+
+from ..errors import TopologyError
+from .objects import ObjKind, TopoObject, Topology
+
+
+class TopologyBuilder:
+    """Incremental construction of an arbitrary topology tree.
+
+    Example::
+
+        b = TopologyBuilder("weird")
+        s = b.socket()
+        n = b.numa(s)
+        b.cores(n, 3)          # a 3-core NUMA node without a shared LLC
+        topo = b.build()
+    """
+
+    def __init__(self, name: str = "custom") -> None:
+        self.name = name
+        self._machine = TopoObject(ObjKind.MACHINE, 0)
+        self._counters: dict[ObjKind, int] = {kind: 0 for kind in ObjKind}
+
+    def _new(self, kind: ObjKind, parent: TopoObject, **attrs) -> TopoObject:
+        idx = self._counters[kind]
+        self._counters[kind] += 1
+        return TopoObject(kind, idx, parent, attrs or None)
+
+    def socket(self, **attrs) -> TopoObject:
+        return self._new(ObjKind.SOCKET, self._machine, **attrs)
+
+    def numa(self, parent: TopoObject | None = None, **attrs) -> TopoObject:
+        return self._new(ObjKind.NUMA, parent or self._machine, **attrs)
+
+    def llc(self, parent: TopoObject, **attrs) -> TopoObject:
+        return self._new(ObjKind.LLC, parent, **attrs)
+
+    def core(self, parent: TopoObject, **attrs) -> TopoObject:
+        return self._new(ObjKind.CORE, parent, **attrs)
+
+    def cores(self, parent: TopoObject, count: int, **attrs) -> list[TopoObject]:
+        if count < 1:
+            raise TopologyError("core count must be >= 1")
+        return [self.core(parent, **attrs) for _ in range(count)]
+
+    def build(self) -> Topology:
+        return Topology(self._machine, self.name)
+
+
+def build_symmetric(
+    name: str,
+    sockets: int,
+    numa_per_socket: int,
+    cores_per_numa: int,
+    cores_per_llc: int | None = None,
+    machine_attrs: dict | None = None,
+) -> Topology:
+    """Build a fully symmetric machine.
+
+    ``cores_per_llc=None`` omits the LLC level entirely (cores have no shared
+    last-level cache, as on ARM-N1 where only a system-level cache exists).
+    """
+    if sockets < 1 or numa_per_socket < 1 or cores_per_numa < 1:
+        raise TopologyError("all symmetric topology counts must be >= 1")
+    if cores_per_llc is not None:
+        if cores_per_llc < 1:
+            raise TopologyError("cores_per_llc must be >= 1 or None")
+        if cores_per_numa % cores_per_llc != 0:
+            raise TopologyError(
+                f"cores_per_numa ({cores_per_numa}) must be a multiple of "
+                f"cores_per_llc ({cores_per_llc})"
+            )
+
+    b = TopologyBuilder(name)
+    if machine_attrs:
+        b._machine.attrs.update(machine_attrs)
+    for _ in range(sockets):
+        sock = b.socket()
+        for _ in range(numa_per_socket):
+            numa = b.numa(sock)
+            if cores_per_llc is None:
+                b.cores(numa, cores_per_numa)
+            else:
+                for _ in range(cores_per_numa // cores_per_llc):
+                    group = b.llc(numa)
+                    b.cores(group, cores_per_llc)
+    return b.build()

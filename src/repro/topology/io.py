@@ -1,0 +1,100 @@
+"""Topology (de)serialization.
+
+A topology can be described as a plain dict (JSON-compatible), in either
+the compact symmetric form::
+
+    {"name": "my-node", "symmetric": {"sockets": 2, "numa_per_socket": 4,
+     "cores_per_numa": 8, "cores_per_llc": 4}}
+
+or the explicit tree form (socket -> numa -> [llc ->] cores)::
+
+    {"name": "weird", "sockets": [
+        {"numa": [{"cores": 3}, {"llc": [{"cores": 2}, {"cores": 2}]}]},
+    ]}
+
+This is the equivalent of hwloc's XML export for this simulator: a way to
+model a machine once and share the description.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..errors import TopologyError
+from .builder import TopologyBuilder, build_symmetric
+from .objects import ObjKind, Topology
+
+
+def topology_from_spec(spec: dict[str, Any]) -> Topology:
+    """Build a topology from a spec dict (see module docstring)."""
+    if not isinstance(spec, dict):
+        raise TopologyError("topology spec must be a dict")
+    name = spec.get("name", "custom")
+    if "symmetric" in spec:
+        sym = dict(spec["symmetric"])
+        unknown = set(sym) - {"sockets", "numa_per_socket", "cores_per_numa",
+                              "cores_per_llc"}
+        if unknown:
+            raise TopologyError(f"unknown symmetric keys: {sorted(unknown)}")
+        return build_symmetric(
+            name,
+            sockets=sym.get("sockets", 1),
+            numa_per_socket=sym.get("numa_per_socket", 1),
+            cores_per_numa=sym.get("cores_per_numa", 1),
+            cores_per_llc=sym.get("cores_per_llc"),
+            machine_attrs=spec.get("attrs"),
+        )
+    if "sockets" not in spec:
+        raise TopologyError("spec needs either 'symmetric' or 'sockets'")
+    b = TopologyBuilder(name)
+    if spec.get("attrs"):
+        b._machine.attrs.update(spec["attrs"])
+    for sock_spec in spec["sockets"]:
+        sock = b.socket(**sock_spec.get("attrs", {}))
+        for numa_spec in sock_spec.get("numa", []):
+            numa = b.numa(sock, **numa_spec.get("attrs", {}))
+            if "llc" in numa_spec and "cores" in numa_spec:
+                raise TopologyError("numa spec has both 'llc' and 'cores'")
+            if "llc" in numa_spec:
+                for llc_spec in numa_spec["llc"]:
+                    llc = b.llc(numa, **llc_spec.get("attrs", {}))
+                    b.cores(llc, int(llc_spec["cores"]))
+            elif "cores" in numa_spec:
+                b.cores(numa, int(numa_spec["cores"]))
+            else:
+                raise TopologyError("numa spec needs 'llc' or 'cores'")
+    return b.build()
+
+
+def topology_to_spec(topo: Topology) -> dict[str, Any]:
+    """Serialize a topology to the explicit tree form."""
+    sockets = []
+    for sock in topo.objects(ObjKind.SOCKET):
+        numa_specs = []
+        for numa in sock.children:
+            if numa.kind is not ObjKind.NUMA:
+                raise TopologyError(
+                    "only socket->numa->[llc->]core trees serialize")
+            llcs = [c for c in numa.children if c.kind is ObjKind.LLC]
+            if llcs:
+                numa_specs.append({
+                    "llc": [{"cores": len(l.cores())} for l in llcs]
+                })
+            else:
+                numa_specs.append({"cores": len(numa.cores())})
+        sockets.append({"numa": numa_specs})
+    return {"name": topo.name, "attrs": dict(topo.machine.attrs),
+            "sockets": sockets}
+
+
+def load_topology(path: str | Path) -> Topology:
+    """Load a topology from a JSON spec file."""
+    data = json.loads(Path(path).read_text())
+    return topology_from_spec(data)
+
+
+def save_topology(topo: Topology, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(topology_to_spec(topo), indent=2)
+                          + "\n")

@@ -1,0 +1,95 @@
+"""The three evaluation systems of Table I.
+
+==========  ======================  ======  =====  ====  =======
+Codename    Processor               Arch    Cores  NUMA  Sockets
+==========  ======================  ======  =====  ====  =======
+Epyc-1P     1x AMD Epyc 7551P       x86_64  32     4     1
+Epyc-2P     2x AMD Epyc 7501        x86_64  64     8     2
+ARM-N1      2x ARM Neoverse N1      arm64   160    8     2
+==========  ======================  ======  =====  ====  =======
+
+Microarchitectural details encoded here, per the paper:
+
+* On both Epycs, groups of 4 cores (a Zen CCX) share an 8 MB L3 — the
+  "cache-local" distance class of Fig. 1a and the implicit flag-propagation
+  assist of SSV-D1.
+* ARM-N1 (Ampere Altra, Neoverse N1) has private L1/L2 per core and **no**
+  shared LLC; instead a physically-tagged system-level cache (SLC) behind
+  the CMN-600 mesh caches each address at a single location, so there is no
+  implicit locality assist (SSV-D1) and intra- vs cross-NUMA latencies are
+  nearly identical (Fig. 1a).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import TopologyError
+from .builder import build_symmetric
+from .objects import Topology
+
+
+def epyc_1p() -> Topology:
+    """Epyc-1P: 1x AMD Epyc 7551P — 32 cores, 4 NUMA nodes, 4-core CCXs."""
+    return build_symmetric(
+        "Epyc-1P",
+        sockets=1,
+        numa_per_socket=4,
+        cores_per_numa=8,
+        cores_per_llc=4,
+        machine_attrs={
+            "arch": "x86_64",
+            "processor": "1x AMD Epyc 7551P",
+            "cache_kind": "llc",
+        },
+    )
+
+
+def epyc_2p() -> Topology:
+    """Epyc-2P: 2x AMD Epyc 7501 — 64 cores, 8 NUMA nodes, 4-core CCXs."""
+    return build_symmetric(
+        "Epyc-2P",
+        sockets=2,
+        numa_per_socket=4,
+        cores_per_numa=8,
+        cores_per_llc=4,
+        machine_attrs={
+            "arch": "x86_64",
+            "processor": "2x AMD Epyc 7501",
+            "cache_kind": "llc",
+        },
+    )
+
+
+def arm_n1() -> Topology:
+    """ARM-N1: 2x ARM Neoverse N1 — 160 cores, 8 NUMA nodes, no shared LLC."""
+    return build_symmetric(
+        "ARM-N1",
+        sockets=2,
+        numa_per_socket=4,
+        cores_per_numa=20,
+        cores_per_llc=None,
+        machine_attrs={
+            "arch": "arm64",
+            "processor": "2x ARM Neoverse N1",
+            "cache_kind": "slc",
+        },
+    )
+
+
+SYSTEMS: dict[str, Callable[[], Topology]] = {
+    "epyc-1p": epyc_1p,
+    "epyc-2p": epyc_2p,
+    "arm-n1": arm_n1,
+}
+
+
+def get_system(name: str) -> Topology:
+    """Look a Table I system up by codename (case/sep-insensitive)."""
+    key = name.lower().replace("_", "-")
+    try:
+        return SYSTEMS[key]()
+    except KeyError:
+        raise TopologyError(
+            f"unknown system {name!r}; known: {sorted(SYSTEMS)}"
+        ) from None

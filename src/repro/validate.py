@@ -1,0 +1,144 @@
+"""Component validation harness.
+
+A downstream user writing a new collectives component needs the same
+correctness battery our test suite applies to the built-in ones. This
+module packages it as a public API::
+
+    from repro.validate import validate_component
+    report = validate_component(lambda: MyComponent())
+    assert report.ok, report.render()
+
+Checks (each on a fresh simulated machine, with a real numpy data plane):
+
+* broadcast delivers the root's exact bytes for small/medium/large sizes,
+  several rank counts, and non-zero roots;
+* allreduce computes the right elementwise sum for float32;
+* repeated operations on one communicator don't corrupt one another;
+* all ranks terminate (no deadlock) — enforced by the engine itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .errors import ReproError
+from .mpi import FLOAT, SUM, World
+from .node import Node
+from .sim import primitives as P
+from .topology import build_symmetric
+
+
+@dataclass
+class Check:
+    name: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass
+class ValidationReport:
+    checks: list[Check] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def render(self) -> str:
+        lines = []
+        for c in self.checks:
+            mark = "PASS" if c.passed else "FAIL"
+            line = f"[{mark}] {c.name}"
+            if c.detail and not c.passed:
+                line += f" — {c.detail}"
+            lines.append(line)
+        return "\n".join(lines)
+
+
+def _topo():
+    return build_symmetric("validate", 2, 2, 4, 2)
+
+
+def _check_bcast(factory, nranks, size, root, iters) -> Check:
+    name = f"bcast n={nranks} size={size} root={root} iters={iters}"
+    try:
+        node = Node(_topo())
+        world = World(node, nranks)
+        comm = world.communicator(factory())
+        bad: list[str] = []
+
+        def program(comm_, ctx):
+            me = comm_.rank_of(ctx)
+            buf = ctx.alloc("b", size)
+            scratch = ctx.alloc("scr", size)
+            for it in range(iters):
+                if me == root:
+                    yield P.Copy(src=scratch.whole(), dst=buf.whole())
+                    buf.data[:] = (np.arange(size) + it) % 251
+                yield from comm_.bcast(ctx, buf.whole(), root)
+                expect = (np.arange(size) + it) % 251
+                if not np.array_equal(buf.data, expect):
+                    bad.append(f"rank {me} iter {it}")
+        comm.run(program)
+        if bad:
+            return Check(name, False, f"corrupt payload at {bad[:3]}")
+        return Check(name, True)
+    except ReproError as exc:
+        return Check(name, False, f"{type(exc).__name__}: {exc}")
+
+
+def _check_allreduce(factory, nranks, size, iters) -> Check:
+    name = f"allreduce n={nranks} size={size} iters={iters}"
+    try:
+        node = Node(_topo())
+        world = World(node, nranks)
+        comm = world.communicator(factory())
+        bad: list[str] = []
+
+        def program(comm_, ctx):
+            me = comm_.rank_of(ctx)
+            s = ctx.alloc("s", size)
+            r = ctx.alloc("r", size)
+            for it in range(iters):
+                s.view().as_dtype(np.float32)[:] = me + 1 + it
+                yield from comm_.allreduce(ctx, s.whole(), r.whole(),
+                                           SUM, FLOAT)
+                expect = sum(range(1, nranks + 1)) + it * nranks
+                if not np.all(r.view().as_dtype(np.float32) == expect):
+                    bad.append(f"rank {me} iter {it}")
+        comm.run(program)
+        if bad:
+            return Check(name, False, f"wrong sum at {bad[:3]}")
+        return Check(name, True)
+    except ReproError as exc:
+        return Check(name, False, f"{type(exc).__name__}: {exc}")
+
+
+def validate_component(
+    factory: Callable[[], object],
+    *,
+    bcast: bool = True,
+    allreduce: bool = True,
+    quick: bool = False,
+) -> ValidationReport:
+    """Run the correctness battery against a component factory."""
+    report = ValidationReport()
+    sizes = [16, 4096, 100_000] if not quick else [16, 4096]
+    nranks_list = [2, 7, 16] if not quick else [7]
+    if bcast:
+        for nranks in nranks_list:
+            for size in sizes:
+                report.checks.append(
+                    _check_bcast(factory, nranks, size, root=0, iters=2))
+        report.checks.append(
+            _check_bcast(factory, 16 if not quick else 7, 4096,
+                         root=3, iters=2))
+    if allreduce:
+        for nranks in nranks_list:
+            for size in sizes:
+                size -= size % 4
+                report.checks.append(
+                    _check_allreduce(factory, nranks, max(size, 4), iters=2))
+    return report

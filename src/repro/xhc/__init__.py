@@ -1,0 +1,17 @@
+"""XHC — XPMEM-based Hierarchical Collectives (the paper's contribution).
+
+The component groups neighbouring cores into an n-level topology-aware
+hierarchy (SSIII-A), moves bulk data with single-copy XPMEM transfers
+(SSIII-C) pipelined across hierarchy levels (SSIII-B), switches to a
+copy-in-copy-out path below a size threshold (SSIII-D), and synchronizes
+through single-writer/multiple-reader flags (SSIII-E).
+
+Primitives: Broadcast and Allreduce (SSIV), plus the Reduce and Barrier
+extensions the paper lists as ongoing work (SSVII).
+"""
+
+from .config import XhcConfig
+from .hierarchy import Group, Hierarchy, build_hierarchy
+from .component import Xhc
+
+__all__ = ["XhcConfig", "Group", "Hierarchy", "build_hierarchy", "Xhc"]

@@ -1,0 +1,722 @@
+"""The XHC collectives component (SSIV).
+
+Control-flow notes
+------------------
+
+* All progress/ack flags carry **monotonic cumulative values** (total bytes
+  ever made available, total ops completed). Every rank maintains an
+  identical local ledger of everyone's cumulative counters, updated at each
+  op with the same deterministic rule — so flag values never reset and no
+  reset races exist. This mirrors the sequence tagging of the real
+  implementation.
+
+* A rank is one simulated process. Roles that the real implementation
+  interleaves inside one progress loop (reducing its own index range,
+  monitoring members' counters, pulling broadcast data) are expressed as
+  concurrent helper tasks pinned to the same core.
+
+* Buffers published for single-copy access are re-registered every op.
+  On the single-copy path, the hierarchical acknowledgment step (SSIV-A,
+  finalization) guarantees a parent's readers finished before it returns
+  — acks are posted the moment a rank's own receipt completes (they
+  protect the *parent's* buffer only), so successive operations wave-
+  pipeline down the tree. On the CICO path the staging slots are
+  component-owned, so ack collection defers to the slot ring's reuse
+  point instead.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..errors import MPIError
+from ..mpi.colls.base import CollComponent, partition
+from ..shmem.segment import SharedSegment
+from ..sim import primitives as P
+from ..sim.syncobj import Flag, Line
+from .config import XhcConfig
+from .hierarchy import Group, Hierarchy, build_hierarchy
+
+
+class Xhc(CollComponent):
+    name = "xhc"
+
+    def __init__(self, config: XhcConfig | None = None, **kw) -> None:
+        super().__init__()
+        self.cfg = config if config is not None else XhcConfig(**kw)
+
+    # -- setup -----------------------------------------------------------------
+
+    def _setup(self, comm) -> None:
+        cfg = self.cfg
+        n = comm.size
+        self._hier_cache: dict[int, Hierarchy] = {}
+        h0 = self._hierarchy(comm, 0)
+        self.n_levels = h0.n_levels
+        # CICO segments: contribution + result/staging regions in a
+        # K-deep ring (K = cfg.cico_ring) indexed by operation number, so
+        # acknowledgment collection defers to a slot's next reuse K-1 ops
+        # later (overlapping the ack fan-in with the application instead
+        # of serializing every small-message operation on it).
+        cico = max(cfg.cico_threshold, 64)
+        ring = cfg.cico_ring
+        self.cico_ctb = []
+        self.cico_res = []
+        for ctx in comm.ranks:
+            seg = SharedSegment(ctx.space, f"xhc.cico.{ctx.rank}",
+                                2 * ring * cico)
+            self.cico_ctb.append(tuple(
+                seg.reserve(f"ctb{k}", cico) for k in range(ring)))
+            self.cico_res.append(tuple(
+                seg.reserve(f"res{k}", cico) for k in range(ring)))
+        # Flags. `avail` drives fan-out; `ready[level]` drives reduction
+        # readiness; `done` tracks reducer progress; `ack` finalization.
+        self.avail = [Flag(f"xhc.avail.{c.rank}", c.core) for c in comm.ranks]
+        self.done = [Flag(f"xhc.done.{c.rank}", c.core) for c in comm.ranks]
+        # Ack flags of LLC-group peers share a cache line: the writers are
+        # neighbours (false sharing is cheap within a CCX) and a leader
+        # scanning acknowledgments fetches one line per group instead of
+        # one per member. Flags are placed on separate lines only "where
+        # that is necessary" (SSIII-E) — i.e. on machines without LLC
+        # groups, where line sharing would couple distant writers.
+        topo = comm.node.topo
+        ack_lines: dict[int, Line] = {}
+        self.ack = []
+        for c in comm.ranks:
+            llc = topo.llc_of_core(c.core)
+            line = None
+            if llc is not None:
+                line = ack_lines.get(llc.index)
+                if line is None:
+                    line = Line(c.core)
+                    ack_lines[llc.index] = line
+            self.ack.append(Flag(f"xhc.ack.{c.rank}", c.core, line))
+        self.ready = [
+            [Flag(f"xhc.ready.{c.rank}.l{l}", c.core)
+             for l in range(self.n_levels + 1)]
+            for c in comm.ranks
+        ]
+        # Replicated per-member avail flags for the Fig. 10 layouts,
+        # created lazily per leader with the configured line placement.
+        self._avail_multi: dict[tuple[int, int], Flag] = {}
+        self._multi_lines: dict[int, Line] = {}
+        # Per-op published buffer views (identity shared through the
+        # component object, exactly like address exchange over shm).
+        self._pub_fan: dict[int, object] = {}
+        self._pub_ctb: dict[int, object] = {}
+        self._pub_res: dict[int, object] = {}
+        self._scratch: dict[int, object] = {}
+
+    def _hierarchy(self, comm, root: int) -> Hierarchy:
+        h = self._hier_cache.get(root)
+        if h is None:
+            cores = [ctx.core for ctx in comm.ranks]
+            h = build_hierarchy(comm.node.topo, cores, self.cfg.tokens(), root)
+            self._hier_cache[root] = h
+        return h
+
+    def _ledger(self, comm, me: int) -> dict:
+        st = comm.rank_state[me]
+        if not st:
+            n = comm.size
+            st["avail"] = [0] * n
+            st["done"] = [0] * n
+            st["ack"] = [0] * n
+            st["arrive"] = [0] * n
+            st["ready"] = [[0] * (self.n_levels + 1) for _ in range(n)]
+            st["cico_ops"] = 0
+            # Last value of each peer's ack flag we actually observed; a
+            # deferred slot-reuse check is skipped entirely when the value
+            # seen last time already proves the slot free.
+            st["ack_seen"] = [0] * n
+        return st
+
+    def _scratch_view(self, ctx, size: int):
+        buf = self._scratch.get(ctx.rank)
+        if buf is None or buf.size < size:
+            buf = ctx.alloc(f"xhc.scratch.{size}", size)
+            self._scratch[ctx.rank] = buf
+        return buf.view(0, size)
+
+    # -- avail flag layouts (Fig. 10) -------------------------------------
+
+    def _multi_flag(self, comm, leader: int, child: int) -> Flag:
+        key = (leader, child)
+        flag = self._avail_multi.get(key)
+        if flag is None:
+            owner_core = comm.core_of(leader)
+            line = None
+            if self.cfg.flag_layout == "multi-shared":
+                line = self._multi_lines.get(leader)
+                if line is None:
+                    line = Line(owner_core)
+                    self._multi_lines[leader] = line
+            flag = Flag(f"xhc.availm.{leader}.{child}", owner_core, line)
+            self._avail_multi[key] = flag
+        return flag
+
+    def _set_avail(self, comm, hier: Hierarchy, me: int,
+                   value: int) -> Iterator:
+        if self.cfg.flag_layout == "single":
+            yield P.SetFlag(self.avail[me], value)
+            return
+        flags = tuple(self._multi_flag(comm, me, child)
+                      for child, _level in hier.children(me))
+        if flags:
+            yield P.SetFlagGroup(flags, value)
+
+    def _wait_avail(self, comm, parent: int, me: int, value: int) -> Iterator:
+        if self.cfg.flag_layout == "single":
+            yield P.WaitFlag(self.avail[parent], value)
+        else:
+            yield P.WaitFlag(self._multi_flag(comm, parent, me), value)
+
+    # -- broadcast (SSIV-A) -----------------------------------------------
+
+    def bcast(self, comm, ctx, view, root) -> Iterator:
+        if comm.size == 1 or view.length == 0:
+            return
+        me = comm.rank_of(ctx)
+        led = self._ledger(comm, me)
+        hier = self._hierarchy(comm, root)
+        nbytes = view.length
+        small = nbytes <= self.cfg.cico_threshold
+        parent = hier.parent(me)
+        if parent is not None:
+            yield P.Trace("message", {
+                "src": comm.core_of(parent), "dst": ctx.core,
+                "src_rank": parent, "dst_rank": me,
+                "nbytes": nbytes, "proto": "xhc",
+            })
+        parity = led["cico_ops"] % self.cfg.cico_ring
+        if small:
+            yield from self._cico_entry(comm, hier, me, led)
+        if me == root:
+            if small:
+                yield P.Copy(src=view,
+                             dst=self.cico_res[me][parity].sub(0, nbytes))
+            else:
+                self._pub_fan[me] = view
+                yield from comm.node.xpmem.expose(view.buf)
+            yield from self._set_avail(comm, hier, me,
+                                       led["avail"][me] + nbytes)
+        else:
+            if not small and hier.children(me):
+                self._pub_fan[me] = view
+                yield from comm.node.xpmem.expose(view.buf)
+            yield from self._fanout_pull(comm, ctx, me, hier, nbytes, small,
+                                         view, led, parity)
+        # Single-copy exposes the user buffer, so the op must not return
+        # before the subtree acknowledged; the double-buffered CICO path
+        # defers that collection to the slot's next use (_cico_entry).
+        yield from self._finalize(comm, hier, me, led,
+                                  wait_children=not small)
+        self._update_fan_ledger(comm, hier, me, led, nbytes)
+        if small:
+            led["cico_ops"] += 1
+
+    def _cico_entry(self, comm, hier: Hierarchy, me: int,
+                    led: dict) -> Iterator:
+        """Deferred finalization of the CICO path: before overwriting a
+        ring slot, make sure its previous users (ring-1 ops ago)
+        acknowledged. The last observed value of each child's flag is
+        cached, so with a ring of depth K each child's flag is actually
+        fetched only ~every K ops — the fan-in amortization that keeps the
+        flat tree's small-message latency low."""
+        slack = self.cfg.cico_ring - 1
+        for child, _level in hier.children(me):
+            target = led["ack"][child] - slack
+            if target <= 0 or led["ack_seen"][child] >= target:
+                continue
+            yield P.WaitFlag(self.ack[child], target)
+            # The fetch that satisfied the wait read the line's current
+            # value; remember it to skip future checks.
+            led["ack_seen"][child] = self.ack[child].value
+
+    def _fanout_pull(self, comm, ctx, me: int, hier: Hierarchy, nbytes: int,
+                     small: bool, dst_view, led: dict,
+                     parity: int = 0) -> Iterator:
+        """Pull-based, pipelined fan-out: chunks stream from the parent's
+        buffer into ours, republished level by level (Fig. 5)."""
+        parent = hier.parent(me)
+        assert parent is not None
+        level = hier.pull_level(me)
+        chunk = self.cfg.chunk_for_level(level)
+        has_children = bool(hier.children(me))
+        avail_base_p = led["avail"][parent]
+        avail_base_me = led["avail"][me]
+        got = 0
+        while got < nbytes:
+            n = min(chunk, nbytes - got)
+            yield from self._wait_avail(comm, parent, me,
+                                        avail_base_p + got + n)
+            if small:
+                src = self.cico_res[parent][parity].sub(got, n)
+                if has_children:
+                    yield P.Copy(
+                        src=src, dst=self.cico_res[me][parity].sub(got, n))
+                    got += n
+                    yield from self._set_avail(comm, hier, me,
+                                               avail_base_me + got)
+                    yield P.Copy(
+                        src=self.cico_res[me][parity].sub(got - n, n),
+                        dst=dst_view.sub(got - n, n))
+                else:
+                    yield P.Copy(src=src, dst=dst_view.sub(got, n))
+                    got += n
+            else:
+                pview = self._pub_fan[parent]
+                yield from ctx.smsc.copy_from(pview.sub(got, n),
+                                              dst_view.sub(got, n))
+                got += n
+                if has_children:
+                    yield from self._set_avail(comm, hier, me,
+                                               avail_base_me + got)
+
+    def _finalize(self, comm, hier: Hierarchy, me: int, led: dict,
+                  wait_children: bool = True) -> Iterator:
+        """Hierarchical acknowledgment (SSIV-A).
+
+        A rank's ack tells its *parent* that the parent's buffer is no
+        longer being read — it is posted as soon as our own receipt is
+        complete, **not** after our children finish (our buffer's readers
+        are our direct children, whose acks we gather before returning).
+        This keeps the acknowledgment local to each tree edge, so
+        successive operations overlap down the hierarchy in a wave. The
+        CICO path skips the gather here entirely (it happens lazily in
+        :meth:`_cico_entry`)."""
+        if hier.parent(me) is not None:
+            yield P.SetFlag(self.ack[me], led["ack"][me] + 1)
+        if wait_children:
+            for child, _level in hier.children(me):
+                yield P.WaitFlag(self.ack[child], led["ack"][child] + 1)
+
+    def _update_fan_ledger(self, comm, hier: Hierarchy, me: int, led: dict,
+                           nbytes: int) -> None:
+        for q in range(comm.size):
+            if hier.children(q) or q == hier.root:
+                led["avail"][q] += nbytes
+            if hier.parent(q) is not None:
+                led["ack"][q] += 1
+
+    # -- allreduce (SSIV-B) -------------------------------------------------
+
+    def allreduce(self, comm, ctx, sview, rview, op, dtype) -> Iterator:
+        yield from self._reduce_impl(comm, ctx, sview, rview, op, dtype,
+                                     root=0, fan_out=True)
+
+    def reduce(self, comm, ctx, sview, rview, op, dtype, root) -> Iterator:
+        yield from self._reduce_impl(comm, ctx, sview, rview, op, dtype,
+                                     root=root, fan_out=False)
+
+    def _reduce_impl(self, comm, ctx, sview, rview, op, dtype, root,
+                     fan_out) -> Iterator:
+        if comm.size == 1:
+            if rview is not None:
+                yield P.Copy(src=sview, dst=rview)
+            return
+        me = comm.rank_of(ctx)
+        led = self._ledger(comm, me)
+        hier = self._hierarchy(comm, root)
+        nbytes = sview.length
+        if nbytes == 0:
+            return
+        small = nbytes <= self.cfg.cico_threshold
+        parity = led["cico_ops"] % self.cfg.cico_ring
+
+        # Step 1 — preparation: publish buffers, announce source readiness.
+        result = rview
+        if result is None:
+            if not fan_out and me != root:
+                result = self._scratch_view(ctx, nbytes) \
+                    if hier.led_groups[me] else None
+            else:
+                raise MPIError("root reduce/allreduce needs a receive buffer")
+        if small:
+            yield from self._cico_entry(comm, hier, me, led)
+            yield P.Copy(src=sview,
+                         dst=self.cico_ctb[me][parity].sub(0, nbytes))
+        else:
+            self._pub_ctb[me] = sview
+            yield from comm.node.xpmem.expose(sview.buf)
+            if result is not None:
+                self._pub_res[me] = result
+                # The result buffer doubles as the fan-out source when the
+                # final broadcast streams it down the hierarchy (step 3).
+                self._pub_fan[me] = result
+                yield from comm.node.xpmem.expose(result.buf)
+        yield P.SetFlag(self.ready[me][0], led["ready"][me][0] + nbytes)
+
+        # Steps 2a/2b — concurrent roles (the real implementation folds
+        # these into one progress loop on the same core).
+        engine = comm.node.engine
+        joins: list[Flag] = []
+
+        def _spawn(gen, tag):
+            flag = Flag(f"xhc.join.{me}.{tag}", ctx.core)
+
+            def runner():
+                yield from gen
+                yield P.SetFlag(flag, 1)
+
+            engine.spawn(runner(), core=ctx.core, name=f"xhc.{tag}.{me}")
+            joins.append(flag)
+
+        group = hier.member_group[me]
+        if group is not None:
+            rng = self._assignment(group, me, nbytes, dtype)
+            if rng is not None:
+                _spawn(self._reducer(comm, ctx, me, hier, group, rng, nbytes,
+                                     small, op, dtype, led, parity), "red")
+        for g in hier.led_groups[me]:
+            _spawn(self._monitor(comm, ctx, me, hier, g, nbytes, small,
+                                 fan_out, dtype, led, parity), "mon")
+
+        # Step 3 — broadcast of the reduced data (allreduce only).
+        if fan_out:
+            if me != hier.root:
+                yield from self._fanout_pull(comm, ctx, me, hier, nbytes,
+                                             small, rview, led, parity)
+            else:
+                yield P.WaitFlag(self.avail[me], led["avail"][me] + nbytes)
+            if small:
+                # CICO: the final result sits in our staging region.
+                if me == hier.root:
+                    yield P.Copy(
+                        src=self.cico_res[me][parity].sub(0, nbytes),
+                        dst=rview.sub(0, nbytes))
+        else:
+            # Reduce: wait for the root to announce completion.
+            yield P.WaitFlag(self.avail[hier.root],
+                             led["avail"][hier.root] + nbytes)
+            if small and me == root:
+                yield P.Copy(src=self.cico_res[me][parity].sub(0, nbytes),
+                             dst=rview.sub(0, nbytes))
+
+        for flag in joins:
+            yield P.WaitFlag(flag, 1)
+        yield from self._finalize(comm, hier, me, led,
+                                  wait_children=not small)
+        self._update_reduce_ledger(comm, hier, me, led, nbytes, dtype,
+                                   fan_out)
+        if small:
+            led["cico_ops"] += 1
+
+    # -- allreduce helper roles ------------------------------------------
+
+    def _assignment(self, group: Group, rank: int, nbytes: int,
+                    dtype) -> tuple[int, int] | None:
+        """The (offset, end) byte range ``rank`` reduces within its group."""
+        workers = group.nonleaders
+        ranges = partition(nbytes, len(workers),
+                           minimum=self.cfg.reduce_min,
+                           align=dtype.itemsize)
+        idx = workers.index(rank)
+        if idx >= len(ranges):
+            return None
+        off, n = ranges[idx]
+        return off, off + n
+
+    def _contrib(self, comm, rank: int, level: int, nbytes: int, small: bool,
+                 parity: int):
+        """Rank's contribution buffer at a hierarchy level (SSIV-B):
+        its source data at level 0, its aggregation buffer above."""
+        if small:
+            region = (self.cico_ctb[rank] if level == 0
+                      else self.cico_res[rank])[parity]
+            return region.sub(0, nbytes)
+        return (self._pub_ctb[rank] if level == 0
+                else self._pub_res[rank]).sub(0, nbytes)
+
+    def _result(self, comm, rank: int, nbytes: int, small: bool,
+                parity: int):
+        if small:
+            return self.cico_res[rank][parity].sub(0, nbytes)
+        return self._pub_res[rank].sub(0, nbytes)
+
+    def _reducer(self, comm, ctx, me: int, hier: Hierarchy, group: Group,
+                 rng: tuple[int, int], nbytes: int, small: bool, op, dtype,
+                 led: dict, parity: int = 0) -> Iterator:
+        """Step 2a: reduce all group members' data on our indices, placing
+        the result in the leader's buffer; advance our done counter."""
+        lo, hi = rng
+        level = group.level
+        chunk = self.cfg.chunk_for_level(level)
+        peers = group.members
+        ready_bases = {p: led["ready"][p][level] for p in peers}
+        done_base = led["done"][me]
+        pos = lo
+        while pos < hi:
+            n = min(chunk, hi - pos)
+            for p in peers:
+                yield P.WaitFlag(self.ready[p][level],
+                                 ready_bases[p] + pos + n)
+            # Buffer lookups happen only after the readiness waits: the
+            # leader's publication precedes its first ready announcement.
+            srcs = [
+                self._contrib(comm, p, level, nbytes, small, parity)
+                .sub(pos, n)
+                for p in peers
+            ]
+            dst = self._result(comm, group.leader, nbytes, small,
+                               parity).sub(pos, n)
+            if small:
+                yield P.Reduce(srcs=tuple(srcs), dst=dst, op=op.ufunc,
+                               dtype=dtype.np_dtype)
+            else:
+                yield from ctx.smsc.reduce_from(srcs, dst, op=op.ufunc,
+                                                dtype=dtype.np_dtype)
+            pos += n
+            yield P.SetFlag(self.done[me], done_base + (pos - lo))
+
+    def _monitor(self, comm, ctx, me: int, hier: Hierarchy, group: Group,
+                 nbytes: int, small: bool, fan_out: bool, dtype,
+                 led: dict, parity: int = 0) -> Iterator:
+        """Step 2b: poll members' done counters; as prefixes complete,
+        propagate readiness to the next level (or trigger the broadcast at
+        the top, SSIV-B step 3)."""
+        level = group.level
+        next_level = level + 1
+        is_top = (me == hier.root and group is hier.levels[-1][0])
+        chunk = self.cfg.chunk_for_level(min(next_level, hier.n_levels - 1))
+        workers = group.nonleaders
+        ranges = partition(nbytes, len(workers) or 1,
+                           minimum=self.cfg.reduce_min,
+                           align=dtype.itemsize)
+        assigned = list(zip(workers, ranges))
+        done_bases = {w: led["done"][w] for w in workers}
+        ready_base_own = led["ready"][me][level]
+        ready_base_next = led["ready"][me][next_level]
+        avail_base = led["avail"][me]
+        c = 0
+        while c < nbytes:
+            c_end = min(c + chunk, nbytes)
+            for w, (off, n) in assigned:
+                need = min(off + n, c_end) - off
+                if need > 0:
+                    yield P.WaitFlag(self.done[w], done_bases[w] + need)
+            if not workers:
+                # Singleton group: forward our own contribution.
+                yield P.WaitFlag(self.ready[me][level],
+                                 ready_base_own + c_end)
+                if level == 0:
+                    src = self._contrib(comm, me, 0, nbytes, small, parity)
+                    dst = self._result(comm, me, nbytes, small, parity)
+                    yield P.Copy(src=src.sub(c, c_end - c),
+                                 dst=dst.sub(c, c_end - c))
+            if is_top:
+                if fan_out:
+                    yield from self._set_avail(comm, hier, me,
+                                               avail_base + c_end)
+                    if self.cfg.flag_layout != "single":
+                        # The root's own fan-out wait uses the single flag.
+                        yield P.SetFlag(self.avail[me], avail_base + c_end)
+                else:
+                    yield P.SetFlag(self.avail[me], avail_base + c_end)
+            else:
+                yield P.SetFlag(self.ready[me][next_level],
+                                ready_base_next + c_end)
+            c = c_end
+
+    def _update_reduce_ledger(self, comm, hier: Hierarchy, me: int, led: dict,
+                              nbytes: int, dtype, fan_out: bool) -> None:
+        for q in range(comm.size):
+            led["ready"][q][0] += nbytes
+            group = hier.member_group[q]
+            if group is not None:
+                rng = self._assignment(group, q, nbytes, dtype)
+                if rng is not None:
+                    led["done"][q] += rng[1] - rng[0]
+                led["ack"][q] += 1
+            for g in hier.led_groups[q]:
+                is_top = (q == hier.root and g is hier.levels[-1][0])
+                if is_top:
+                    led["avail"][q] += nbytes
+                else:
+                    led["ready"][q][g.level + 1] += nbytes
+            if fan_out and hier.children(q) and q != hier.root:
+                led["avail"][q] += nbytes
+
+    # -- gather / scatter / allgather (shared-address-space extensions) ----
+    #
+    # The paper's follow-up line of work (Hashmi et al. [47]) extends
+    # single-copy designs to more primitives; these implementations follow
+    # that recipe: publish the user buffer, let the consumers read exactly
+    # the bytes they need directly, and release through the same
+    # monotonic-flag machinery the Bcast/Allreduce paths use.
+
+    def gather(self, comm, ctx, sview, rview, root) -> Iterator:
+        """Every rank publishes its block; the root copies each straight
+        out of the owner's buffer (one copy per block, no staging)."""
+        if comm.size == 1:
+            if rview is not None:
+                yield P.Copy(src=sview, dst=rview)
+            return
+        me = comm.rank_of(ctx)
+        led = self._ledger(comm, me)
+        hier = self._hierarchy(comm, root)
+        block = sview.length
+        self._pub_ctb[me] = sview
+        yield from comm.node.xpmem.expose(sview.buf)
+        yield P.SetFlag(self.ready[me][0], led["ready"][me][0] + block)
+        if me == root:
+            for r in range(comm.size):
+                if r == me:
+                    yield P.Copy(src=sview, dst=rview.sub(r * block, block))
+                    continue
+                yield P.WaitFlag(self.ready[r][0],
+                                 led["ready"][r][0] + block)
+                yield from ctx.smsc.copy_from(
+                    self._pub_ctb[r].sub(0, block),
+                    rview.sub(r * block, block))
+            # Release: senders' buffers are free for reuse.
+            yield from self._set_avail(comm, hier, me,
+                                       led["avail"][me] + block)
+        else:
+            yield from self._wait_avail(comm, root, me,
+                                        led["avail"][root] + block)
+        for q in range(comm.size):
+            led["ready"][q][0] += block
+        led["avail"][root] += block
+
+    def scatter(self, comm, ctx, sview, rview, root) -> Iterator:
+        """The root publishes its send buffer; every rank pulls its own
+        block directly (disjoint single-copy reads, SSIV-A's pull style)."""
+        if comm.size == 1:
+            if sview is not None:
+                yield P.Copy(src=sview, dst=rview)
+            return
+        me = comm.rank_of(ctx)
+        led = self._ledger(comm, me)
+        hier = self._hierarchy(comm, root)
+        block = rview.length
+        total = block * comm.size
+        if me == root:
+            self._pub_fan[me] = sview
+            yield from comm.node.xpmem.expose(sview.buf)
+            yield from self._set_avail(comm, hier, me,
+                                       led["avail"][me] + total)
+            yield P.Copy(src=sview.sub(me * block, block), dst=rview)
+        else:
+            yield from self._wait_avail(comm, root, me,
+                                        led["avail"][root] + total)
+            src = self._pub_fan[root]
+            yield from ctx.smsc.copy_from(src.sub(me * block, block), rview)
+        # Hierarchical acknowledgment releases the root's buffer.
+        yield from self._finalize(comm, hier, me, led)
+        self._update_fan_ledger(comm, hier, me, led, total)
+
+    def allgather(self, comm, ctx, sview, rview) -> Iterator:
+        """Publish, then pull every peer's block from its owner — reads are
+        spread across all sources, so no single point congests."""
+        me = comm.rank_of(ctx)
+        block = sview.length
+        yield P.Copy(src=sview, dst=rview.sub(me * block, block))
+        if comm.size == 1:
+            return
+        led = self._ledger(comm, me)
+        self._pub_ctb[me] = sview
+        yield from comm.node.xpmem.expose(sview.buf)
+        yield P.SetFlag(self.ready[me][0], led["ready"][me][0] + block)
+        ready_bases = [led["ready"][q][0] for q in range(comm.size)]
+        for q in range(comm.size):
+            led["ready"][q][0] += block
+        for off in range(1, comm.size):
+            r = (me + off) % comm.size   # start from different sources
+            yield P.WaitFlag(self.ready[r][0], ready_bases[r] + block)
+            yield from ctx.smsc.copy_from(
+                self._pub_ctb[r].sub(0, block),
+                rview.sub(r * block, block))
+        # Everyone read everyone: full fence before buffers are reused.
+        yield from self.barrier(comm, ctx)
+
+    def alltoall(self, comm, ctx, sview, rview) -> Iterator:
+        """Personalized exchange: every rank reads its addressed block
+        straight out of each peer's send buffer."""
+        size = comm.size
+        me = comm.rank_of(ctx)
+        block = sview.length // size
+        yield P.Copy(src=sview.sub(me * block, block),
+                     dst=rview.sub(me * block, block))
+        if size == 1:
+            return
+        led = self._ledger(comm, me)
+        self._pub_ctb[me] = sview
+        yield from comm.node.xpmem.expose(sview.buf)
+        yield P.SetFlag(self.ready[me][0], led["ready"][me][0] + block)
+        ready_bases = [led["ready"][q][0] for q in range(size)]
+        for q in range(size):
+            led["ready"][q][0] += block
+        for off in range(1, size):
+            r = (me + off) % size
+            yield P.WaitFlag(self.ready[r][0], ready_bases[r] + block)
+            yield from ctx.smsc.copy_from(
+                self._pub_ctb[r].sub(me * block, block),
+                rview.sub(r * block, block))
+        yield from self.barrier(comm, ctx)
+
+    def reduce_scatter_block(self, comm, ctx, sview, rview, op,
+                             dtype) -> Iterator:
+        """Shared-address-space reduce-scatter: each rank reduces its own
+        output block directly out of every peer's send buffer — the
+        embarrassingly parallel core of the XBRC design, kept because each
+        output block is independent (hierarchy buys nothing here)."""
+        size = comm.size
+        me = comm.rank_of(ctx)
+        block = rview.length
+        if size == 1:
+            yield P.Copy(src=sview, dst=rview)
+            return
+        led = self._ledger(comm, me)
+        self._pub_ctb[me] = sview
+        yield from comm.node.xpmem.expose(sview.buf)
+        yield P.SetFlag(self.ready[me][0], led["ready"][me][0] + block)
+        ready_bases = [led["ready"][q][0] for q in range(size)]
+        for q in range(size):
+            led["ready"][q][0] += block
+        for q in range(size):
+            if q != me:
+                yield P.WaitFlag(self.ready[q][0], ready_bases[q] + block)
+        chunk = self.cfg.chunk_for_level(0)
+        pos = 0
+        while pos < block:
+            n = min(chunk, block - pos)
+            srcs = [
+                (sview if q == me else self._pub_ctb[q])
+                .sub(me * block + pos, n)
+                for q in range(size)
+            ]
+            yield from ctx.smsc.reduce_from(srcs, rview.sub(pos, n),
+                                            op=op.ufunc,
+                                            dtype=dtype.np_dtype)
+            pos += n
+        yield from self.barrier(comm, ctx)
+
+    # -- barrier (SSVII extension) ------------------------------------------
+
+    def barrier(self, comm, ctx) -> Iterator:
+        if comm.size == 1:
+            return
+        me = comm.rank_of(ctx)
+        led = self._ledger(comm, me)
+        hier = self._hierarchy(comm, 0)
+        # Fan-in: gather children's arrival (the ack flags double as
+        # arrival flags; their ledger counts completed participations).
+        for child, _level in hier.children(me):
+            yield P.WaitFlag(self.ack[child], led["ack"][child] + 1)
+        if hier.parent(me) is not None:
+            yield P.SetFlag(self.ack[me], led["ack"][me] + 1)
+        # Fan-out: release cascades down the hierarchy.
+        if me == hier.root:
+            yield from self._set_avail(comm, hier, me, led["avail"][me] + 1)
+        else:
+            yield from self._wait_avail(comm, hier.parent(me), me,
+                                        led["avail"][hier.parent(me)] + 1)
+            if hier.children(me):
+                yield from self._set_avail(comm, hier, me,
+                                           led["avail"][me] + 1)
+        for q in range(comm.size):
+            if hier.parent(q) is not None:
+                led["ack"][q] += 1
+            if hier.children(q) or q == hier.root:
+                led["avail"][q] += 1

@@ -1,0 +1,85 @@
+"""XHC runtime configuration (the MCA-parameter surface of the real
+component, SSIII-B/D)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..topology.objects import SENSITIVITY_TOKENS, ObjKind
+
+FLAG_LAYOUTS = ("single", "multi-shared", "multi-separate")
+
+
+@dataclass(frozen=True)
+class XhcConfig:
+    """All tunables of the XHC component.
+
+    ``hierarchy``
+        ``"+"``-separated sensitivity tokens (``numa``, ``socket``, ``l3``)
+        from innermost to outermost, or ``"flat"`` for a single-level tree.
+        The paper's XHC-tree is ``"numa+socket"``.
+    ``chunk_size``
+        Pipeline chunk in bytes; either one value for all levels or a tuple
+        with one value per level (innermost first) — each level can match
+        its link (SSIII-B, Fig. 5).
+    ``cico_threshold``
+        Messages at or below this size use the copy-in-copy-out path
+        (default 1 KB, SSIV-C).
+    ``flag_layout``
+        Placement of the leader-to-members progress flags: the production
+        design uses one flag per leader (``"single"``); the Fig. 10
+        variants replicate it per member on a shared or separate cache
+        line.
+    ``reduce_min``
+        Minimum bytes of reduction work per member (the "minimum index
+        limit" of SSIV-B): small messages are reduced by a single member.
+    ``cico_ring``
+        Depth of the CICO slot ring. Leaders defer acknowledgment
+        collection until a slot is about to be reused (ring-1 operations
+        later), amortizing the fan-in of member flags.
+    """
+
+    hierarchy: str = "numa+socket"
+    chunk_size: int | tuple[int, ...] = 16 * 1024
+    cico_threshold: int = 1024
+    flag_layout: str = "single"
+    reduce_min: int = 512
+    cico_ring: int = 4
+
+    def __post_init__(self) -> None:
+        self.tokens()  # validates
+        if self.flag_layout not in FLAG_LAYOUTS:
+            raise ConfigError(
+                f"flag_layout {self.flag_layout!r} not in {FLAG_LAYOUTS}"
+            )
+        sizes = (self.chunk_size,) if isinstance(self.chunk_size, int) \
+            else self.chunk_size
+        if not sizes or any(s <= 0 for s in sizes):
+            raise ConfigError("chunk sizes must be positive")
+        if self.cico_threshold < 0:
+            raise ConfigError("cico_threshold must be >= 0")
+        if self.reduce_min < 1:
+            raise ConfigError("reduce_min must be >= 1")
+        if self.cico_ring < 2:
+            raise ConfigError("cico_ring must be >= 2")
+
+    def tokens(self) -> list[ObjKind]:
+        """Sensitivity tokens as topology kinds ([] for flat)."""
+        if self.hierarchy == "flat":
+            return []
+        kinds = []
+        for token in self.hierarchy.split("+"):
+            token = token.strip().lower()
+            if token not in SENSITIVITY_TOKENS:
+                raise ConfigError(
+                    f"unknown hierarchy token {token!r}; "
+                    f"known: {sorted(SENSITIVITY_TOKENS)} or 'flat'"
+                )
+            kinds.append(SENSITIVITY_TOKENS[token])
+        return kinds
+
+    def chunk_for_level(self, level: int) -> int:
+        if isinstance(self.chunk_size, int):
+            return self.chunk_size
+        return self.chunk_size[min(level, len(self.chunk_size) - 1)]

@@ -1,0 +1,159 @@
+"""Hierarchy construction from the node topology (SSIII-A, Fig. 2).
+
+Ranks are grouped by their core's ancestor object for each sensitivity
+token (innermost first); each group elects a leader, and the leaders form
+the next level's population, until a single top group remains. The group
+containing the operation's root always elects the root, so the root is the
+top-level leader regardless of which rank it is — this is what keeps
+XHC-tree's traffic pattern invariant under root changes (Fig. 9b,
+Table II).
+
+Levels whose grouping is degenerate (every group a singleton) are dropped;
+this is how ``numa+socket`` yields 3 levels on the dual-socket systems but
+2 on Epyc-1P (SSV-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TopologyError
+from ..topology.objects import ObjKind, Topology
+
+
+@dataclass
+class Group:
+    """One communication group: a leader and its members at one level."""
+
+    level: int
+    index: int
+    members: list[int]          # comm ranks, sorted
+    leader: int
+
+    @property
+    def nonleaders(self) -> list[int]:
+        return [m for m in self.members if m != self.leader]
+
+    def __repr__(self) -> str:
+        return (f"<Group L{self.level}#{self.index} leader={self.leader} "
+                f"members={self.members}>")
+
+
+class Hierarchy:
+    """The full n-level structure plus per-rank navigation tables."""
+
+    def __init__(self, levels: list[list[Group]], nranks: int,
+                 root: int) -> None:
+        if not levels:
+            raise TopologyError("hierarchy needs at least one level")
+        self.levels = levels
+        self.nranks = nranks
+        self.root = root
+        self.n_levels = len(levels)
+        # The single group where each rank is a non-leader member (None for
+        # the top leader == root).
+        self.member_group: dict[int, Group | None] = {r: None
+                                                      for r in range(nranks)}
+        # Groups each rank leads, ascending level.
+        self.led_groups: dict[int, list[Group]] = {r: []
+                                                   for r in range(nranks)}
+        for level in levels:
+            for group in level:
+                self.led_groups[group.leader].append(group)
+                for member in group.nonleaders:
+                    if self.member_group[member] is not None:
+                        raise TopologyError(
+                            f"rank {member} is a non-leader member of two "
+                            f"groups"
+                        )
+                    self.member_group[member] = group
+
+    # -- navigation -----------------------------------------------------------
+
+    def parent(self, rank: int) -> int | None:
+        """The rank this one pulls from in fan-out (None for the root)."""
+        group = self.member_group[rank]
+        return None if group is None else group.leader
+
+    def pull_level(self, rank: int) -> int:
+        """The hierarchy level at which ``rank`` pulls from its parent."""
+        group = self.member_group[rank]
+        return 0 if group is None else group.level
+
+    def children(self, rank: int) -> list[tuple[int, int]]:
+        """(child_rank, level) pairs across all groups ``rank`` leads."""
+        out = []
+        for group in self.led_groups[rank]:
+            out.extend((m, group.level) for m in group.nonleaders)
+        return out
+
+    def leaders(self) -> set[int]:
+        """Ranks leading at least one group (includes the root)."""
+        return {r for r, gs in self.led_groups.items() if gs}
+
+    def describe(self) -> str:
+        parts = []
+        for i, level in enumerate(self.levels):
+            sizes = [len(g.members) for g in level]
+            parts.append(f"L{i}: {len(level)} group(s) of {sizes}")
+        return "; ".join(parts)
+
+
+def build_hierarchy(
+    topo: Topology,
+    rank_cores: list[int],
+    tokens: list[ObjKind],
+    root: int = 0,
+) -> Hierarchy:
+    """Build the hierarchy for ranks pinned to ``rank_cores``.
+
+    ``tokens`` are sensitivity kinds innermost-first ([] gives a flat
+    single-group hierarchy). The returned levels are indexed from the
+    innermost (level 0) to the top.
+    """
+    nranks = len(rank_cores)
+    if not 0 <= root < nranks:
+        raise TopologyError(f"root {root} out of range")
+    levels: list[list[Group]] = []
+    current = list(range(nranks))
+
+    def make_level(groups_ranks: list[list[int]]) -> list[Group]:
+        level_groups = []
+        for members in groups_ranks:
+            members = sorted(members)
+            leader = root if root in members else members[0]
+            level_groups.append(
+                Group(level=len(levels), index=len(level_groups),
+                      members=members, leader=leader)
+            )
+        return level_groups
+
+    for kind in tokens:
+        buckets: dict[int, list[int]] = {}
+        for r in current:
+            obj = topo.ancestor_of_core(rank_cores[r], kind)
+            key = obj.index if obj is not None else -1
+            buckets.setdefault(key, []).append(r)
+        grouped = [buckets[k] for k in sorted(buckets)]
+        if all(len(g) == 1 for g in grouped):
+            continue  # degenerate level: adds serialization, no locality
+        level = make_level(grouped)
+        levels.append(level)
+        current = [g.leader for g in level]
+        if len(current) == 1:
+            break
+
+    if len(current) > 1:
+        levels.append(make_level([current]))
+        current = [levels[-1][0].leader]
+
+    if not levels:
+        # Single rank, or tokens empty (flat): one group of everyone.
+        levels.append(make_level([list(range(nranks))]))
+
+    top_leader = levels[-1][0].leader if len(levels[-1]) == 1 else None
+    if top_leader != root and nranks > 1:
+        raise TopologyError(
+            f"internal error: top leader {top_leader} is not root {root}"
+        )  # pragma: no cover
+    return Hierarchy(levels, nranks, root)

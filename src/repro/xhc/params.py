@@ -1,0 +1,54 @@
+"""XHC's MCA-parameter surface.
+
+OpenMPI exposes component tuning through MCA parameters
+(``--mca coll_xhc_chunk_size 16384 ...``); this module declares the
+equivalent registry so harnesses can configure XHC from flat key/value
+settings (CLI flags, sweep files) instead of constructing
+:class:`XhcConfig` by hand::
+
+    from repro.params import ParamSet
+    from repro.xhc.params import XHC_PARAMS, config_from_params
+
+    ps = ParamSet(XHC_PARAMS, {"coll_xhc_cico_max": 4096})
+    cfg = config_from_params(ps)
+"""
+
+from __future__ import annotations
+
+from ..params import Param, ParamRegistry, ParamSet, non_negative, positive
+from .config import FLAG_LAYOUTS, XhcConfig
+
+XHC_PARAMS = ParamRegistry([
+    Param("coll_xhc_hierarchy", "numa+socket",
+          "sensitivity tokens, '+'-separated, or 'flat'"),
+    Param("coll_xhc_chunk_size", 16 * 1024,
+          "pipeline chunk bytes (uniform across levels)", positive),
+    Param("coll_xhc_cico_max", 1024,
+          "use the copy-in-copy-out path at or below this size",
+          non_negative),
+    Param("coll_xhc_flag_layout", "single",
+          "progress-flag placement: " + " | ".join(FLAG_LAYOUTS),
+          lambda v: v in FLAG_LAYOUTS),
+    Param("coll_xhc_reduce_min", 512,
+          "minimum reduction bytes per member (SSIV-B)", positive),
+    Param("coll_xhc_cico_ring", 4,
+          "depth of the CICO staging-slot ring",
+          lambda v: isinstance(v, int) and v >= 2),
+])
+
+
+def config_from_params(params: ParamSet) -> XhcConfig:
+    """Materialize an :class:`XhcConfig` from an MCA-style parameter set."""
+    return XhcConfig(
+        hierarchy=params["coll_xhc_hierarchy"],
+        chunk_size=params["coll_xhc_chunk_size"],
+        cico_threshold=params["coll_xhc_cico_max"],
+        flag_layout=params["coll_xhc_flag_layout"],
+        reduce_min=params["coll_xhc_reduce_min"],
+        cico_ring=params["coll_xhc_cico_ring"],
+    )
+
+
+def config_from_mca(**settings) -> XhcConfig:
+    """Shorthand: ``config_from_mca(coll_xhc_cico_max=4096)``."""
+    return config_from_params(ParamSet(XHC_PARAMS, settings))

@@ -1,0 +1,54 @@
+"""Application skeletons: termination, accounting, component sensitivity."""
+
+import pytest
+
+from repro.apps import run_cntk, run_miniamr, run_pisvm
+from repro.bench.components import COMPONENTS
+
+pytestmark = pytest.mark.slow
+
+
+def test_pisvm_runs_and_accounts():
+    res = run_pisvm("epyc-1p", COMPONENTS["xhc-tree"], "xhc-tree",
+                    nranks=16, iterations=5)
+    assert res.total_time > 0
+    assert 0 < res.collective_time < res.total_time
+    assert 0 < res.mpi_fraction < 1
+    assert res.nranks == 16 and res.component == "xhc-tree"
+
+
+def test_pisvm_component_sensitivity():
+    """A slower collective stack shows up in total time (Fig. 12)."""
+    fast = run_pisvm("epyc-1p", COMPONENTS["xhc-tree"], "xhc-tree",
+                     nranks=16, iterations=6)
+    slow = run_pisvm("epyc-1p", COMPONENTS["sm"], "sm",
+                     nranks=16, iterations=6)
+    assert slow.total_time > fast.total_time
+
+
+def test_miniamr_configs():
+    a = run_miniamr("epyc-1p", COMPONENTS["xhc-tree"], "xhc-tree",
+                    nranks=16, config="default")
+    b = run_miniamr("epyc-1p", COMPONENTS["xhc-tree"], "xhc-tree",
+                    nranks=16, config="refine-1k")
+    assert a.total_time > 0 and b.total_time > 0
+    # The aggressive config is far more Allreduce-bound (SSV-D3).
+    assert b.mpi_fraction > a.mpi_fraction
+
+
+def test_miniamr_unknown_config():
+    with pytest.raises(KeyError):
+        run_miniamr("epyc-1p", COMPONENTS["tuned"], config="nope")
+
+
+def test_cntk_gradient_size_drives_time():
+    small = run_cntk("epyc-1p", COMPONENTS["xhc-tree"], "xhc-tree",
+                     nranks=16, minibatches=2, gradient_bytes=1 << 20)
+    large = run_cntk("epyc-1p", COMPONENTS["xhc-tree"], "xhc-tree",
+                     nranks=16, minibatches=2, gradient_bytes=4 << 20)
+    assert large.collective_time > small.collective_time
+
+
+def test_default_nranks_fills_machine():
+    res = run_pisvm("epyc-1p", COMPONENTS["tuned"], "tuned", iterations=2)
+    assert res.nranks == 32

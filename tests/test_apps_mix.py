@@ -1,0 +1,64 @@
+"""Application skeletons: the communication *mix* must match the paper.
+
+SSV-A characterizes each application: PiSvM's MPI time is dominated by
+Broadcast; miniAMR's refine step is small Allreduces; CNTK is large
+gradient Allreduces. These tests pin those properties, because the app
+results (Figs. 12-14) are only meaningful if the mixes are right.
+"""
+
+import pytest
+
+from repro.apps import run_cntk, run_miniamr, run_pisvm
+from repro.apps.pisvm import BCAST_BYTES
+from repro.apps.miniamr import CONFIGS
+from repro.apps.cntk import GRADIENT_BYTES
+from repro.bench.components import COMPONENTS
+
+pytestmark = pytest.mark.slow
+
+
+def test_pisvm_is_bcast_dominated():
+    """Paper: 'The majority of PiSvM's MPI communication time is inside
+    MPI_Bcast.'"""
+    assert BCAST_BYTES > 1024          # medium payload working sets
+    res = run_pisvm("epyc-1p", COMPONENTS["xhc-tree"], "xhc-tree",
+                    nranks=16, iterations=8)
+    # The convergence allreduce is 8 bytes vs a 48K bcast: bcast dominates
+    # bytes by construction; the time split follows.
+    assert res.collective_time > 0
+
+
+def test_miniamr_configs_match_paper():
+    """Default: tens of bytes per call; refine-1k: ~1 KB per call."""
+    assert CONFIGS["default"]["allreduce_bytes"] < 100
+    assert CONFIGS["refine-1k"]["allreduce_bytes"] == 1024
+    # The aggressive config calls allreduce more often per unit compute.
+    dflt = CONFIGS["default"]
+    agg = CONFIGS["refine-1k"]
+    assert (agg["allreduces_per_step"] / agg["compute"]
+            > dflt["allreduces_per_step"] / dflt["compute"])
+
+
+def test_cntk_gradients_are_large():
+    assert GRADIENT_BYTES >= 4 << 20
+
+
+def test_warmup_excluded_from_totals():
+    """The measured epoch must not include the first-attach costs."""
+    cold = run_cntk("epyc-1p", COMPONENTS["xhc-tree"], "xhc-tree",
+                    nranks=16, minibatches=2, gradient_bytes=2 << 20)
+    # Per-minibatch cost should be stable: 4 minibatches ~ 2x the 2-batch
+    # total (within 30%), which fails if a warmup-sized constant leaks in.
+    warm = run_cntk("epyc-1p", COMPONENTS["xhc-tree"], "xhc-tree",
+                    nranks=16, minibatches=4, gradient_bytes=2 << 20)
+    ratio = warm.total_time / cold.total_time
+    assert 1.6 < ratio < 2.4
+
+
+def test_mpi_fraction_bounded():
+    for runner, kw in ((run_pisvm, dict(iterations=4)),
+                       (run_miniamr, dict(config="default")),
+                       (run_cntk, dict(minibatches=2))):
+        res = runner("epyc-1p", COMPONENTS["tuned"], "tuned", nranks=16,
+                     **kw)
+        assert 0.0 < res.mpi_fraction < 0.9, runner.__name__

@@ -1,0 +1,83 @@
+"""OSU-style microbenchmark drivers."""
+
+import pytest
+
+from repro.bench.components import (COMPONENTS, component_names,
+                                    make_component)
+from repro.bench.osu import (OsuSeries, osu_bcast, osu_latency,
+                             run_collective)
+from repro.errors import ConfigError
+from repro.shmem.smsc import SmscConfig
+
+
+def test_component_registry():
+    comp = make_component("xhc-tree")
+    assert comp.cfg.hierarchy == "numa+socket"
+    with pytest.raises(ConfigError):
+        make_component("mvapich")
+
+
+def test_component_sets_per_figure():
+    bcast_1p = component_names("bcast", "epyc-1p")
+    assert "smhc-tree" not in bcast_1p          # single socket
+    assert "xbrc" not in bcast_1p               # reduction-only
+    allreduce = component_names("allreduce", "epyc-2p")
+    assert "xbrc" in allreduce and "smhc-flat" not in allreduce
+
+
+def test_run_collective_returns_positive_latency():
+    lat = run_collective("bcast", "epyc-1p", 8, COMPONENTS["xhc-tree"], 256,
+                         warmup=1, iters=2)
+    assert 0 < lat < 1e-3
+
+
+def test_unknown_kind():
+    with pytest.raises(ValueError):
+        run_collective("exscan", "epyc-1p", 4, COMPONENTS["tuned"], 64)
+
+
+def test_extended_kinds_run():
+    for kind in ("reduce", "barrier", "gather", "alltoall"):
+        lat = run_collective(kind, "epyc-1p", 8, COMPONENTS["xhc-tree"],
+                             256, warmup=1, iters=2)
+        assert lat > 0, kind
+
+
+def test_sweep_builds_series():
+    series = osu_bcast("epyc-1p", 8, COMPONENTS["tuned"], sizes=(64, 4096),
+                       warmup=1, iters=2, label="t")
+    assert isinstance(series, OsuSeries)
+    assert series.sizes == [64, 4096]
+    assert series.latency[4096] > 0
+
+
+def test_modify_flag_changes_medium_results():
+    """The _mb variant must cost more in the cache-sensitive range."""
+    kw = dict(warmup=1, iters=4)
+    hot = run_collective("bcast", "epyc-1p", 16, COMPONENTS["xhc-flat"],
+                         64 * 1024, modify=False, **kw)
+    cold = run_collective("bcast", "epyc-1p", 16, COMPONENTS["xhc-flat"],
+                          64 * 1024, modify=True, **kw)
+    assert cold > hot * 1.2
+
+
+def test_osu_latency_pingpong():
+    lat_near = osu_latency("epyc-1p", (0, 1), 4096, warmup=1, iters=3)
+    lat_far = osu_latency("epyc-1p", (0, 8), 4096, warmup=1, iters=3)
+    assert 0 < lat_near < lat_far
+
+
+def test_smsc_config_passthrough():
+    lat_cico = osu_latency("epyc-2p", (0, 8), 1 << 20,
+                           smsc=SmscConfig(mechanism=None),
+                           warmup=1, iters=3)
+    lat_xpmem = osu_latency("epyc-2p", (0, 8), 1 << 20,
+                            smsc=SmscConfig(mechanism="xpmem"),
+                            warmup=1, iters=3)
+    assert lat_xpmem < lat_cico
+
+
+def test_root_parameter():
+    lat = run_collective("bcast", "epyc-1p", 8, COMPONENTS["xhc-tree"], 128,
+                         root=5, warmup=1, iters=2)
+    assert lat > 0

@@ -1,0 +1,73 @@
+"""Report rendering."""
+
+from repro.bench.osu import OsuSeries
+from repro.bench.report import render_rows, render_series_table
+
+
+def test_series_table():
+    a = OsuSeries("alpha")
+    a.add(4, 1e-6)
+    a.add(1 << 20, 250e-6)
+    b = OsuSeries("beta")
+    b.add(4, 2e-6)
+    text = render_series_table("My Title", [a, b])
+    lines = text.splitlines()
+    assert lines[0] == "My Title"
+    assert "alpha" in lines[2] and "beta" in lines[2]
+    assert any("1.00" in l and "2.00" in l for l in lines)
+    assert any(l.strip().startswith("1M") for l in lines)
+    # Missing cell rendered as '-'.
+    assert any("250.00" in l and "-" in l for l in lines)
+
+
+def test_series_helpers():
+    s = OsuSeries("x")
+    s.add(64, 3e-6)
+    assert s.us(64) == 3.0
+    assert s.sizes == [64]
+
+
+def test_render_rows_alignment():
+    text = render_rows("T", ["a", "bb"], [[1, 2.5], ["x", 3.25]])
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "2.50" in text and "3.25" in text
+    # All data rows equal width.
+    widths = {len(l) for l in lines[2:]}
+    assert len(widths) == 1
+
+
+def test_render_rows_empty():
+    text = render_rows("T", ["a"], [])
+    assert "a" in text
+
+
+def test_series_chart():
+    from repro.bench.report import render_series_chart
+    a = OsuSeries("fast")
+    b = OsuSeries("slow")
+    for size, (fa, sl) in {4: (1e-6, 8e-6), 1024: (2e-6, 64e-6)}.items():
+        a.add(size, fa)
+        b.add(size, sl)
+    art = render_series_chart("Chart", [a, b], width=30)
+    lines = art.splitlines()
+    assert lines[0] == "Chart"
+    fast_bars = [l for l in lines if l.strip().startswith("fast")]
+    slow_bars = [l for l in lines if l.strip().startswith("slow")]
+    assert len(fast_bars) == len(slow_bars) == 2
+    # Slower series draws longer bars.
+    assert fast_bars[0].count("#") < slow_bars[0].count("#")
+    assert "log scale" in art
+
+
+def test_series_chart_empty():
+    from repro.bench.report import render_series_chart
+    assert "no data" in render_series_chart("T", [OsuSeries("x")])
+
+
+def test_size_formatting():
+    from repro.bench.report import _fmt_size
+    assert _fmt_size(4) == "4"
+    assert _fmt_size(2048) == "2K"
+    assert _fmt_size(4 << 20) == "4M"
+    assert _fmt_size(1500) == "1500"

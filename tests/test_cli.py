@@ -1,0 +1,81 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_topo_default(capsys):
+    code, out = run_cli(capsys, "topo", "epyc-1p")
+    assert code == 0
+    assert "cores=32" in out
+    assert "XHC hierarchy" in out
+    assert "Groups" in out
+
+
+def test_topo_custom_hierarchy_and_root(capsys):
+    code, out = run_cli(capsys, "topo", "epyc-2p",
+                        "--hierarchy", "flat", "--root", "5")
+    assert code == 0
+    assert "1 group(s)" in out
+
+
+def test_topo_from_spec(tmp_path, capsys):
+    spec = {"name": "file-node",
+            "symmetric": {"sockets": 1, "numa_per_socket": 2,
+                          "cores_per_numa": 2}}
+    path = tmp_path / "n.json"
+    path.write_text(json.dumps(spec))
+    code, out = run_cli(capsys, "topo", "--spec", str(path))
+    assert code == 0 and "file-node" in out
+
+
+def test_bench_bcast(capsys):
+    code, out = run_cli(capsys, "bench", "bcast", "--system", "epyc-1p",
+                        "--nranks", "8", "--components", "tuned,xhc-tree",
+                        "--sizes", "64,4096", "--iters", "2")
+    assert code == 0
+    assert "tuned" in out and "xhc-tree" in out
+    assert "4K" in out
+
+
+def test_figure_table1(capsys):
+    code, out = run_cli(capsys, "figure", "table1")
+    assert code == 0
+    assert "Epyc-2P" in out
+
+
+def test_figure_unknown(capsys):
+    code = main(["figure", "fig99"])
+    assert code == 2
+
+
+def test_figure_registry_complete():
+    # Every paper artifact has a CLI entry.
+    for key in ("table1", "table2", "fig1a", "fig1b", "fig3", "fig4",
+                "fig7", "fig9", "fig10", "fig12", "fig14"):
+        assert key in FIGURES
+    assert {"fig8-epyc-1p", "fig8-epyc-2p", "fig8-arm-n1"} <= set(FIGURES)
+    assert {"fig11-epyc-1p", "fig11-epyc-2p",
+            "fig11-arm-n1"} <= set(FIGURES)
+
+
+@pytest.mark.slow
+def test_app_command(capsys):
+    code, out = run_cli(capsys, "app", "miniamr", "--system", "epyc-1p",
+                        "--nranks", "8", "--components", "xhc-tree")
+    assert code == 0
+    assert "xhc-tree" in out and "total_ms" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,105 @@
+"""Inter-node extension: cluster topology, network pricing, collectives."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterParams, NetworkParams, build_cluster
+from repro.errors import TopologyError
+from repro.mpi import FLOAT, SUM, World
+from repro.node import Node
+from repro.topology import Distance, ObjKind, classify_distance
+from repro.xhc import Xhc
+
+
+def test_cluster_topology_shape():
+    node, topo, model = build_cluster(n_nodes=4, numa_per_node=2,
+                                      cores_per_numa=4)
+    assert topo.count(ObjKind.SOCKET) == 4      # socket == node boundary
+    assert topo.n_cores == 4 * 2 * 4
+    assert topo.machine.attrs["kind"] == "cluster"
+    assert topo.machine.attrs["cores_per_node"] == 8
+
+
+def test_network_pricing():
+    net = NetworkParams(latency=3e-6, bandwidth=5e9)
+    node, topo, model = build_cluster(
+        ClusterParams(n_nodes=2, numa_per_node=1, cores_per_numa=4,
+                      cores_per_llc=None, network=net))
+    assert model.lat[Distance.CROSS_SOCKET] == 3e-6
+    assert model.bw[Distance.CROSS_SOCKET] == 5e9
+    # Intra-node pricing unchanged (Epyc-like).
+    assert model.lat[Distance.INTRA_NUMA] < 1e-6
+
+
+def test_cross_node_transfer_costs_network():
+    node, topo, model = build_cluster(n_nodes=2, numa_per_node=1,
+                                      cores_per_numa=4, cores_per_llc=None)
+    from repro.sim import primitives as P
+    src_space = node.new_address_space(0, 0)
+    src = src_space.alloc("src", 1 << 20)
+    times = {}
+    for reader, label in ((1, "local"), (4, "remote")):
+        sp = node.new_address_space(reader, reader)
+        dst = sp.alloc("dst", 1 << 20)
+        def prog(r=reader, d=dst, label=label):
+            t0 = node.engine.now
+            yield P.Copy(src=src.whole(), dst=d.whole())
+            times[label] = node.engine.now - t0
+        node.engine.spawn(prog(), core=reader)
+        node.engine.run()
+    assert times["remote"] > times["local"] * 1.2
+
+
+def test_xhc_builds_node_level_hierarchy():
+    node, topo, model = build_cluster(n_nodes=4)
+    world = World(node, topo.n_cores)
+    comp = Xhc()  # numa+socket => numa + node levels
+    comm = world.communicator(comp)
+    hier = comp._hierarchy(comm, 0)
+    assert hier.n_levels == 3
+    assert len(hier.levels[1]) == 4        # one group per node
+    assert len(hier.levels[2][0].members) == 4  # the node leaders
+
+
+@pytest.mark.parametrize("nranks_per_node", [4])
+def test_cluster_bcast_and_allreduce_correct(nranks_per_node):
+    node, topo, model = build_cluster(n_nodes=3, numa_per_node=1,
+                                      cores_per_numa=nranks_per_node,
+                                      cores_per_llc=None)
+    world = World(node, topo.n_cores)
+    comm = world.communicator(Xhc())
+
+    def program(comm_, ctx):
+        me = comm_.rank_of(ctx)
+        buf = ctx.alloc("b", 4096)
+        s = ctx.alloc("s", 1024)
+        r = ctx.alloc("r", 1024)
+        if me == 0:
+            buf.fill(5)
+        yield from comm_.bcast(ctx, buf.whole(), 0)
+        assert np.all(buf.data == 5)
+        s.view().as_dtype(np.float32)[:] = me
+        yield from comm_.allreduce(ctx, s.whole(), r.whole(), SUM, FLOAT)
+        assert np.all(r.view().as_dtype(np.float32)
+                      == sum(range(topo.n_cores)))
+    comm.run(program)
+
+
+def test_hierarchy_beats_flat_across_nodes():
+    """The point of SSVII: node-aware hierarchy pays off on a cluster."""
+    from repro.bench.osu import run_collective
+
+    def lat(hierarchy):
+        node, topo, _ = build_cluster(n_nodes=4)
+        return run_collective(
+            "bcast", "unused", topo.n_cores,
+            lambda: Xhc(hierarchy=hierarchy), 1 << 20,
+            warmup=1, iters=3, node=node)
+    assert lat("numa+socket") < lat("flat") / 2
+
+
+def test_params_validation():
+    with pytest.raises(TopologyError):
+        build_cluster(n_nodes=0)
+    with pytest.raises(TopologyError):
+        build_cluster(ClusterParams(n_nodes=2), n_nodes=3)

@@ -1,0 +1,118 @@
+"""Alltoall and Reduce_scatter_block across components."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import FLOAT, SUM, World
+from repro.mpi.colls import Tuned
+from repro.node import Node
+from repro.xhc import Xhc
+
+from conftest import small_topo
+
+COMPONENTS = {"tuned": Tuned, "xhc": Xhc}
+
+
+def run_alltoall(factory, nranks=8, block=256, iters=2):
+    node = Node(small_topo())
+    world = World(node, nranks)
+    comm = world.communicator(factory())
+    out = {}
+
+    def program(comm_, ctx):
+        me = comm_.rank_of(ctx)
+        for it in range(iters):
+            s = ctx.alloc(f"s{it}", block * nranks)
+            r = ctx.alloc(f"r{it}", block * nranks)
+            for q in range(nranks):
+                # Block addressed to q carries (me, q, it) fingerprint.
+                s.data[q * block:(q + 1) * block] = (me * 31 + q * 7 + it) % 251
+            yield from comm_.alltoall(ctx, s.whole(), r.whole())
+            out.setdefault(it, {})[me] = r.data.copy()
+    comm.run(program)
+    return out
+
+
+@pytest.mark.parametrize("name", sorted(COMPONENTS))
+@pytest.mark.parametrize("nranks", [2, 7, 8])
+def test_alltoall_correct(name, nranks):
+    block = 256
+    out = run_alltoall(COMPONENTS[name], nranks=nranks)
+    for it, per_rank in out.items():
+        for me, data in per_rank.items():
+            for q in range(nranks):
+                expect = (q * 31 + me * 7 + it) % 251
+                got = data[q * block:(q + 1) * block]
+                assert np.all(got == expect), (name, me, q, it)
+
+
+def run_rs(factory, nranks=8, block=1024, iters=2):
+    node = Node(small_topo())
+    world = World(node, nranks)
+    comm = world.communicator(factory())
+    out = {}
+
+    def program(comm_, ctx):
+        me = comm_.rank_of(ctx)
+        s = ctx.alloc("s", block * nranks)
+        r = ctx.alloc("r", block)
+        for it in range(iters):
+            arr = s.view().as_dtype(np.float32)
+            for q in range(nranks):
+                elems = block // 4
+                arr[q * elems:(q + 1) * elems] = me + q + it
+            yield from comm_.reduce_scatter_block(ctx, s.whole(), r.whole(),
+                                                  SUM, FLOAT)
+            out.setdefault(it, {})[me] = r.view().as_dtype(np.float32).copy()
+    comm.run(program)
+    return out
+
+
+@pytest.mark.parametrize("name", sorted(COMPONENTS))
+@pytest.mark.parametrize("nranks", [2, 5, 8])
+def test_reduce_scatter_correct(name, nranks):
+    out = run_rs(COMPONENTS[name], nranks=nranks)
+    for it, per_rank in out.items():
+        for me, data in per_rank.items():
+            expect = sum(q + me + it for q in range(nranks))
+            assert np.all(data == expect), (name, me, it)
+
+
+def test_rs_equals_allreduce_slice():
+    """reduce_scatter_block(me) == allreduce(...)[me's block]."""
+    nranks, block = 8, 512
+    rs = run_rs(Xhc, nranks=nranks, block=block, iters=1)
+    node = Node(small_topo())
+    world = World(node, nranks)
+    comm = world.communicator(Xhc())
+    ar = {}
+
+    def program(comm_, ctx):
+        me = comm_.rank_of(ctx)
+        s = ctx.alloc("s", block * nranks)
+        r = ctx.alloc("r", block * nranks)
+        arr = s.view().as_dtype(np.float32)
+        elems = block // 4
+        for q in range(nranks):
+            arr[q * elems:(q + 1) * elems] = me + q
+        yield from comm_.allreduce(ctx, s.whole(), r.whole(), SUM, FLOAT)
+        ar[me] = r.view().as_dtype(np.float32).copy()
+    comm.run(program)
+    for me in range(nranks):
+        elems = block // 4
+        np.testing.assert_array_equal(
+            rs[0][me], ar[me][me * elems:(me + 1) * elems])
+
+
+def test_validation_errors():
+    from repro.errors import MPIError
+    node = Node(small_topo())
+    world = World(node, 4)
+    comm = world.communicator(Tuned())
+
+    def bad_alltoall(comm_, ctx):
+        s = ctx.alloc("s", 100)
+        r = ctx.alloc("r", 102)  # length mismatch
+        yield from comm_.alltoall(ctx, s.whole(), r.whole())
+    with pytest.raises(MPIError, match="alltoall"):
+        comm.run(bad_alltoall)

@@ -1,0 +1,118 @@
+"""Cross-component correctness battery.
+
+Every collectives component must deliver MPI-correct results for every
+size class (CICO/eager vs single-copy/rendezvous paths), rank count
+(powers of two and odd), root, and mapping policy.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mpi import DOUBLE, MAX, SUM
+from repro.mpi.colls import SmColl, Smhc, Tuned, Ucc, Xbrc
+from repro.xhc import Xhc
+
+from conftest import (assert_allreduce_correct, assert_bcast_correct,
+                      run_allreduce, run_bcast, small_topo)
+
+BCAST_COMPONENTS = {
+    "tuned": Tuned,
+    "sm": SmColl,
+    "ucc": Ucc,
+    "smhc-flat": lambda: Smhc(tree=False),
+    "smhc-tree": lambda: Smhc(tree=True),
+    "xhc-flat": lambda: Xhc(hierarchy="flat"),
+    "xhc-tree": Xhc,
+}
+
+ALLREDUCE_COMPONENTS = dict(BCAST_COMPONENTS, xbrc=Xbrc)
+del ALLREDUCE_COMPONENTS["smhc-tree"]  # covered in its own module
+
+SIZE_CLASSES = [8, 1024, 9000, 100_000]
+
+
+@pytest.mark.parametrize("name", sorted(BCAST_COMPONENTS))
+@pytest.mark.parametrize("size", SIZE_CLASSES)
+def test_bcast_correct(name, size):
+    out, _ = run_bcast(BCAST_COMPONENTS[name], nranks=8, size=size, iters=2)
+    assert_bcast_correct(out, 8, 101)
+
+
+@pytest.mark.parametrize("name", sorted(ALLREDUCE_COMPONENTS))
+@pytest.mark.parametrize("size", SIZE_CLASSES)
+def test_allreduce_correct(name, size):
+    out, _ = run_allreduce(ALLREDUCE_COMPONENTS[name], nranks=8, size=size,
+                           iters=2)
+    assert_allreduce_correct(out, 8, iters=2)
+
+
+@pytest.mark.parametrize("name", sorted(BCAST_COMPONENTS))
+@pytest.mark.parametrize("nranks", [1, 2, 5, 13, 16])
+def test_bcast_rank_counts(name, nranks):
+    out, _ = run_bcast(BCAST_COMPONENTS[name], nranks=nranks, size=2048)
+    assert_bcast_correct(out, nranks, 101)
+
+
+@pytest.mark.parametrize("name", sorted(ALLREDUCE_COMPONENTS))
+@pytest.mark.parametrize("nranks", [1, 2, 7, 16])
+def test_allreduce_rank_counts(name, nranks):
+    out, _ = run_allreduce(ALLREDUCE_COMPONENTS[name], nranks=nranks,
+                           size=2048)
+    assert_allreduce_correct(out, nranks)
+
+
+@pytest.mark.parametrize("name", sorted(BCAST_COMPONENTS))
+@pytest.mark.parametrize("root", [3, 15])
+def test_bcast_nonzero_root(name, root):
+    out, _ = run_bcast(BCAST_COMPONENTS[name], nranks=16, size=4096,
+                       root=root)
+    assert_bcast_correct(out, 16, 101)
+
+
+@pytest.mark.parametrize("name", ["tuned", "ucc", "xhc-tree"])
+def test_bcast_map_numa(name):
+    out, _ = run_bcast(BCAST_COMPONENTS[name], nranks=16, size=4096,
+                       mapping="numa")
+    assert_bcast_correct(out, 16, 101)
+
+
+@pytest.mark.parametrize("name", ["tuned", "ucc", "xbrc", "xhc-tree"])
+def test_allreduce_max_double(name):
+    """Non-SUM op and 8-byte dtype."""
+    out, _ = run_allreduce(ALLREDUCE_COMPONENTS[name], nranks=8, size=1024,
+                           op=MAX, dtype=DOUBLE, iters=1)
+    for rank, rec in out.items():
+        assert np.all(rec["data"] == 8)  # max over ranks of (rank+1)
+
+
+@pytest.mark.parametrize("name", sorted(BCAST_COMPONENTS))
+def test_bcast_pattern_survives(name):
+    """Payload integrity: a position-dependent pattern, not a constant."""
+    def pattern(buf, it):
+        buf.data[:] = (np.arange(buf.size) * (it + 3)) % 251
+
+    out, _ = run_bcast(BCAST_COMPONENTS[name], nranks=8, size=5000,
+                       pattern=pattern, iters=2)
+    expect = (np.arange(5000) * 4) % 251
+    for rank, rec in out.items():
+        assert np.array_equal(rec["data"], expect), f"rank {rank}"
+
+
+@settings(max_examples=12, deadline=None)
+@given(size=st.integers(4, 60_000).map(lambda x: x - x % 4),
+       nranks=st.integers(2, 12))
+def test_xhc_allreduce_random_shapes(size, nranks):
+    """Property: XHC allreduce is correct for arbitrary sizes/rank counts."""
+    size = max(size, 4)
+    out, _ = run_allreduce(Xhc, nranks=nranks, size=size, iters=1)
+    assert_allreduce_correct(out, nranks, iters=1)
+
+
+@settings(max_examples=12, deadline=None)
+@given(size=st.integers(1, 60_000), nranks=st.integers(2, 12),
+       root=st.integers(0, 11))
+def test_xhc_bcast_random_shapes(size, nranks, root):
+    out, _ = run_bcast(Xhc, nranks=nranks, size=size, root=root % nranks,
+                       iters=1)
+    assert_bcast_correct(out, nranks, 100)

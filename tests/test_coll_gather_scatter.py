@@ -1,0 +1,111 @@
+"""Gather / Scatter / Allgather across components (tuned + XHC extension)."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import World
+from repro.mpi.colls import Tuned
+from repro.node import Node
+from repro.xhc import Xhc
+
+from conftest import small_topo
+
+COMPONENTS = {"tuned": Tuned, "xhc": Xhc}
+
+
+def run(kind, factory, nranks=8, block=512, root=0, iters=2):
+    node = Node(small_topo())
+    world = World(node, nranks)
+    comm = world.communicator(factory())
+    out = {}
+
+    def program(comm_, ctx):
+        me = comm_.rank_of(ctx)
+        for it in range(iters):
+            if kind == "gather":
+                s = ctx.alloc(f"s{it}", block)
+                r = ctx.alloc(f"r{it}", block * nranks) if me == root else None
+                s.data[:] = me + 1 + it
+                yield from comm_.gather(ctx, s.whole(),
+                                        None if r is None else r.whole(),
+                                        root)
+                if me == root:
+                    out[it] = r.data.copy()
+            elif kind == "scatter":
+                s = ctx.alloc(f"s{it}", block * nranks) if me == root else None
+                r = ctx.alloc(f"r{it}", block)
+                if me == root:
+                    for q in range(nranks):
+                        s.data[q * block:(q + 1) * block] = q + 1 + it
+                yield from comm_.scatter(ctx,
+                                         None if s is None else s.whole(),
+                                         r.whole(), root)
+                out.setdefault(it, {})[me] = r.data.copy()
+            else:  # allgather
+                s = ctx.alloc(f"s{it}", block)
+                r = ctx.alloc(f"r{it}", block * nranks)
+                s.data[:] = me + 1 + it
+                yield from comm_.allgather(ctx, s.whole(), r.whole())
+                out.setdefault(it, {})[me] = r.data.copy()
+    comm.run(program)
+    return out
+
+
+@pytest.mark.parametrize("name", sorted(COMPONENTS))
+@pytest.mark.parametrize("root", [0, 3])
+def test_gather(name, root):
+    out = run("gather", COMPONENTS[name], root=root)
+    for it, data in out.items():
+        for q in range(8):
+            assert np.all(data[q * 512:(q + 1) * 512] == q + 1 + it), (q, it)
+
+
+@pytest.mark.parametrize("name", sorted(COMPONENTS))
+@pytest.mark.parametrize("root", [0, 5])
+def test_scatter(name, root):
+    out = run("scatter", COMPONENTS[name], root=root)
+    for it, per_rank in out.items():
+        for me, data in per_rank.items():
+            assert np.all(data == me + 1 + it), (me, it)
+
+
+@pytest.mark.parametrize("name", sorted(COMPONENTS))
+def test_allgather(name):
+    out = run("allgather", COMPONENTS[name])
+    for it, per_rank in out.items():
+        for me, data in per_rank.items():
+            for q in range(8):
+                assert np.all(data[q * 512:(q + 1) * 512] == q + 1 + it)
+
+
+@pytest.mark.parametrize("name", sorted(COMPONENTS))
+def test_odd_rank_count(name):
+    out = run("allgather", COMPONENTS[name], nranks=7, block=96)
+    for it, per_rank in out.items():
+        for me, data in per_rank.items():
+            for q in range(7):
+                assert np.all(data[q * 96:(q + 1) * 96] == q + 1 + it)
+
+
+def test_large_blocks_single_copy():
+    node_events = {}
+    out = run("gather", Xhc, block=64 * 1024, iters=1)
+    data = out[0]
+    for q in range(8):
+        assert np.all(data[q * 65536:(q + 1) * 65536] == q + 1)
+
+
+def test_buffer_size_validation():
+    from repro.errors import MPIError
+    node = Node(small_topo())
+    world = World(node, 4)
+    comm = world.communicator(Tuned())
+
+    def program(comm_, ctx):
+        me = comm_.rank_of(ctx)
+        s = ctx.alloc("s", 64)
+        r = ctx.alloc("r", 64)  # too small for gather at root
+        yield from comm_.gather(ctx, s.whole(),
+                                r.whole() if me == 0 else None, 0)
+    with pytest.raises(MPIError, match="gather receive"):
+        comm.run(program)

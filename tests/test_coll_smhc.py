@@ -1,0 +1,86 @@
+"""smhc component: socket-aware staging, CICO-only data path."""
+
+import numpy as np
+
+from repro.mpi import World
+from repro.mpi.colls import Smhc
+from repro.node import Node
+
+from conftest import (assert_allreduce_correct, assert_bcast_correct,
+                      run_allreduce, run_bcast, small_topo)
+
+
+def test_flat_and_tree_bcast():
+    for tree in (False, True):
+        out, node = run_bcast(lambda: Smhc(tree=tree), nranks=16,
+                              size=70_000, iters=2)
+        assert_bcast_correct(out, 16, 101)
+        assert node.xpmem.attaches == 0  # never single-copy
+
+
+def test_tree_roles_socket_leaders():
+    node = Node(small_topo())
+    world = World(node, 16)
+    comp = Smhc(tree=True)
+    world.communicator(comp)
+    # Two sockets of 8 ranks each.
+    assert comp.sockets == [list(range(8)), list(range(8, 16))]
+    parent, consumers = comp._roles(0, root=0)
+    assert parent is None
+    assert 8 in consumers          # the other socket's leader
+    assert set(range(1, 8)) <= set(consumers)
+    parent8, consumers8 = comp._roles(8, root=0)
+    assert parent8 == 0
+    assert consumers8 == list(range(9, 16))
+    parent9, consumers9 = comp._roles(9, root=0)
+    assert parent9 == 8 and consumers9 == []
+
+
+def test_tree_roles_follow_the_root():
+    node = Node(small_topo())
+    world = World(node, 16)
+    comp = Smhc(tree=True)
+    world.communicator(comp)
+    parent, consumers = comp._roles(10, root=10)
+    assert parent is None
+    # Root serves its whole socket plus the other socket's leader.
+    assert 0 in consumers and set(range(8, 16)) - {10} <= set(consumers)
+
+
+def test_allreduce_flat_and_tree():
+    for tree in (False, True):
+        out, _ = run_allreduce(lambda: Smhc(tree=tree), nranks=16,
+                               size=50_000, iters=2)
+        assert_allreduce_correct(out, 16)
+
+
+def test_reduce():
+    from repro.mpi import FLOAT, SUM
+    node = Node(small_topo())
+    world = World(node, 8)
+    comm = world.communicator(Smhc(tree=True))
+    got = {}
+
+    def program(comm_, ctx):
+        me = comm_.rank_of(ctx)
+        sbuf = ctx.alloc("s", 4096)
+        rbuf = ctx.alloc("r", 4096)
+        sbuf.view().as_dtype(np.float32)[:] = me
+        for _ in range(2):
+            yield from comm_.reduce(ctx, sbuf.whole(), rbuf.whole(),
+                                    SUM, FLOAT, root=1)
+        if me == 1:
+            got["v"] = rbuf.view().as_dtype(np.float32).copy()
+    comm.run(program)
+    assert (got["v"] == sum(range(8))).all()
+
+
+def test_barrier():
+    node = Node(small_topo())
+    world = World(node, 6)
+    comm = world.communicator(Smhc(tree=True))
+
+    def program(comm_, ctx):
+        for _ in range(3):
+            yield from comm_.barrier(ctx)
+    comm.run(program)  # terminates without deadlock

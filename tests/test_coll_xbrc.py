@@ -1,0 +1,68 @@
+"""xbrc component: flat XPMEM reduction, slice ownership, min granularity."""
+
+import numpy as np
+
+from repro.mpi import FLOAT, SUM, World
+from repro.mpi.colls import Xbrc
+from repro.node import Node
+
+from conftest import assert_allreduce_correct, run_allreduce, small_topo
+
+
+def test_allreduce_correct_across_sizes():
+    for size in (16, 2048, 60_000):
+        out, _ = run_allreduce(Xbrc, nranks=8, size=size, iters=2)
+        assert_allreduce_correct(out, 8)
+
+
+def test_uses_direct_xpmem_reduction():
+    _, node = run_allreduce(Xbrc, nranks=8, size=60_000, iters=1)
+    assert node.xpmem.attaches > 0
+
+
+def test_min_slice_serializes_small_messages():
+    """Below min_slice, a single rank reduces everything (linearization)."""
+    node = Node(small_topo())
+    world = World(node, 8)
+    comp = Xbrc(min_slice=1024)
+    comm = world.communicator(comp)
+    done_flags = comp.done
+
+    def program(comm_, ctx):
+        me = comm_.rank_of(ctx)
+        sbuf = ctx.alloc("s", 64)
+        rbuf = ctx.alloc("r", 64)
+        sbuf.view().as_dtype(np.float32)[:] = 1.0
+        yield from comm_.allreduce(ctx, sbuf.whole(), rbuf.whole(),
+                                   SUM, FLOAT)
+    comm.run(program)
+    # Everyone sets done (monotonic), but only rank 0 owned a slice; the
+    # others' slices were empty — verify through the partition helper.
+    from repro.mpi.colls.base import partition
+    assert len(partition(64, 8, minimum=1024)) == 1
+
+
+def test_reduce_into_root_buffer():
+    node = Node(small_topo())
+    world = World(node, 8)
+    comm = world.communicator(Xbrc())
+    got = {}
+
+    def program(comm_, ctx):
+        me = comm_.rank_of(ctx)
+        sbuf = ctx.alloc("s", 8192)
+        rbuf = ctx.alloc("r", 8192) if me == 3 else None
+        sbuf.view().as_dtype(np.float32)[:] = me + 1
+        for _ in range(2):
+            yield from comm_.reduce(ctx, sbuf.whole(),
+                                    None if rbuf is None else rbuf.whole(),
+                                    SUM, FLOAT, root=3)
+        if me == 3:
+            got["v"] = rbuf.view().as_dtype(np.float32).copy()
+    comm.run(program)
+    assert (got["v"] == sum(range(1, 9))).all()
+
+
+def test_odd_rank_count():
+    out, _ = run_allreduce(Xbrc, nranks=7, size=10_000, iters=2)
+    assert_allreduce_correct(out, 7)

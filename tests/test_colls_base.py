@@ -1,0 +1,132 @@
+"""Algorithm helpers: tree shapes, chunking, partitioning (with properties)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MPIError
+from repro.mpi.colls.base import (binomial_tree, chain_next, chunks,
+                                  knomial_tree, partition)
+
+
+def check_tree(tree_fn, size, root, **kw):
+    """Generic validity: every rank reachable exactly once from the root."""
+    parents = {}
+    children_of = {}
+    for rank in range(size):
+        parent, children = tree_fn(rank, size, root, **kw)
+        parents[rank] = parent
+        children_of[rank] = children
+    assert parents[root] is None
+    # parent/children relations are mutual.
+    for rank in range(size):
+        for child in children_of[rank]:
+            assert parents[child] == rank
+    # The tree is connected and acyclic: BFS covers everyone.
+    seen = {root}
+    frontier = [root]
+    while frontier:
+        nxt = []
+        for r in frontier:
+            for c in children_of[r]:
+                assert c not in seen, "cycle or double-parent"
+                seen.add(c)
+                nxt.append(c)
+        frontier = nxt
+    assert seen == set(range(size))
+
+
+@settings(max_examples=60, deadline=None)
+@given(size=st.integers(1, 130), root=st.integers(0, 129))
+def test_binomial_tree_valid(size, root):
+    check_tree(binomial_tree, size, root % size)
+
+
+@settings(max_examples=60, deadline=None)
+@given(size=st.integers(1, 130), root=st.integers(0, 129),
+       radix=st.integers(2, 5))
+def test_knomial_tree_valid(size, root, radix):
+    check_tree(knomial_tree, size, root % size, radix=radix)
+
+
+def test_binomial_depth_is_logarithmic():
+    def depth(rank):
+        d = 0
+        while rank is not None:
+            rank = binomial_tree(rank, 64, 0)[0]
+            d += 1
+        return d - 1
+    assert max(depth(r) for r in range(64)) == 6
+
+
+def test_knomial_radix_reduces_depth():
+    def depth(rank, radix):
+        d = 0
+        while rank is not None:
+            rank = knomial_tree(rank, 64, 0, radix)[0]
+            d += 1
+        return d - 1
+    assert max(depth(r, 4) for r in range(64)) == 3
+
+
+def test_knomial_radix_validation():
+    with pytest.raises(MPIError):
+        knomial_tree(0, 8, 0, 1)
+
+
+def test_chain():
+    assert chain_next(0, 4, 0) == (None, 1)
+    assert chain_next(3, 4, 0) == (2, None)
+    assert chain_next(0, 4, 2) == (3, 1)  # rotated
+    assert chain_next(1, 4, 2) == (0, None)
+
+
+def test_chunks_cover_exactly():
+    pieces = list(chunks(100, 32))
+    assert pieces == [(0, 32), (32, 32), (64, 32), (96, 4)]
+    with pytest.raises(MPIError):
+        list(chunks(10, 0))
+
+
+@settings(max_examples=60, deadline=None)
+@given(total=st.integers(0, 1 << 20), chunk=st.integers(1, 1 << 17))
+def test_chunks_property(total, chunk):
+    pieces = list(chunks(total, chunk))
+    assert sum(n for _, n in pieces) == total
+    offsets = [o for o, _ in pieces]
+    assert offsets == sorted(offsets)
+    assert all(0 < n <= chunk for _, n in pieces)
+
+
+@settings(max_examples=80, deadline=None)
+@given(total=st.integers(0, 1 << 20), parts=st.integers(1, 64),
+       minimum=st.integers(1, 4096),
+       align=st.sampled_from([1, 2, 4, 8]))
+def test_partition_properties(total, parts, minimum, align):
+    ranges = partition(total, parts, minimum=minimum, align=align)
+    # Exactly covers [0, total), contiguously, in order.
+    assert sum(n for _, n in ranges) == total
+    pos = 0
+    for off, n in ranges:
+        assert off == pos and n > 0
+        pos += n
+    assert len(ranges) <= parts
+    # Minimum honored except possibly by the final remainder.
+    for off, n in ranges[:-1]:
+        assert n >= minimum
+    # Alignment honored except possibly at the tail.
+    for off, _ in ranges:
+        assert off % align == 0
+
+
+def test_partition_small_message_single_worker():
+    """The paper's minimum-index rule: tiny payloads get one reducer."""
+    assert len(partition(8, 16, minimum=512)) == 1
+
+
+def test_partition_zero_total():
+    assert partition(0, 4) == []
+
+
+def test_partition_parts_validation():
+    with pytest.raises(MPIError):
+        partition(10, 0)

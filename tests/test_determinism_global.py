@@ -1,0 +1,52 @@
+"""Global determinism: identical scenarios give identical timelines.
+
+The whole benchmark methodology rests on this — regenerated figures must
+be reproducible bit-for-bit on the same build.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.osu import run_collective
+from repro.bench.components import COMPONENTS
+from repro.mpi import FLOAT, SUM, World
+from repro.node import Node
+from repro.xhc import Xhc
+
+from conftest import small_topo
+
+
+@pytest.mark.parametrize("comp", ["tuned", "ucc", "xhc-tree", "sm"])
+def test_collective_latency_reproducible(comp):
+    kw = dict(warmup=1, iters=3)
+    a = run_collective("bcast", "epyc-1p", 16, COMPONENTS[comp], 4096, **kw)
+    b = run_collective("bcast", "epyc-1p", 16, COMPONENTS[comp], 4096, **kw)
+    assert a == b
+
+
+def test_full_timeline_reproducible():
+    def run():
+        node = Node(small_topo())
+        world = World(node, 8)
+        comm = world.communicator(Xhc())
+        stamps = []
+
+        def program(comm_, ctx):
+            s = ctx.alloc("s", 2048)
+            r = ctx.alloc("r", 2048)
+            for _ in range(3):
+                yield from comm_.allreduce(ctx, s.whole(), r.whole(),
+                                           SUM, FLOAT)
+                stamps.append(round(ctx.now, 12))
+        comm.run(program)
+        return stamps, node.engine.events_processed, node.engine.now
+
+    assert run() == run()
+
+
+def test_apps_reproducible():
+    from repro.apps import run_miniamr
+    a = run_miniamr("epyc-1p", COMPONENTS["xhc-tree"], "x", nranks=8)
+    b = run_miniamr("epyc-1p", COMPONENTS["xhc-tree"], "x", nranks=8)
+    assert a.total_time == b.total_time
+    assert a.collective_time == b.collective_time

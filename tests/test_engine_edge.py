@@ -1,0 +1,192 @@
+"""Engine edge cases and less-traveled primitive paths."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.node import Node
+from repro.sim import primitives as P
+from repro.sim.syncobj import Atomic, Flag, Line
+
+from conftest import small_topo
+
+
+def fresh():
+    return Node(small_topo())
+
+
+def test_flag_equality_comparison():
+    node = fresh()
+    flag = Flag("f", owner_core=0)
+    hits = []
+
+    def writer():
+        for v in (1, 2, 3):
+            yield P.Compute(10e-6)
+            yield P.SetFlag(flag, v)
+
+    def reader():
+        yield P.WaitFlag(flag, 2, cmp="==")
+        hits.append(node.engine.now)
+
+    node.engine.spawn(reader(), core=1)
+    node.engine.spawn(writer(), core=0)
+    node.engine.run()
+    assert hits and 20e-6 <= hits[0] < 30e-6
+
+
+def test_bad_comparison_operator():
+    node = fresh()
+    flag = Flag("f", owner_core=0)
+    flag.value = 5
+
+    def reader():
+        yield P.WaitFlag(flag, 2, cmp="<=")
+    node.engine.spawn(reader(), core=1)
+    with pytest.raises(SimulationError, match="comparison"):
+        node.engine.run()
+
+
+def test_flag_reset_with_waiters_rejected():
+    flag = Flag("f", owner_core=0)
+    flag.waiters.append((object(), 1, ">="))
+    with pytest.raises(SimulationError, match="reset"):
+        flag.reset()
+    atom = Atomic("a", home_core=0)
+    atom.waiters.append((object(), 1, ">="))
+    with pytest.raises(SimulationError, match="reset"):
+        atom.reset()
+
+
+def test_engine_not_reentrant():
+    node = fresh()
+
+    def prog():
+        yield P.Compute(1e-9)
+        node.engine.run()  # illegal: called from inside the loop
+
+    node.engine.spawn(prog(), core=0)
+    with pytest.raises(SimulationError, match="reentrant"):
+        node.engine.run()
+
+
+def test_spawn_during_run():
+    node = fresh()
+    order = []
+
+    def child():
+        yield P.Compute(1e-6)
+        order.append("child")
+
+    def parent():
+        yield P.Compute(1e-6)
+        node.engine.spawn(child(), core=1)
+        yield P.Compute(5e-6)
+        order.append("parent")
+
+    node.engine.spawn(parent(), core=0)
+    node.engine.run()
+    assert order == ["child", "parent"]
+
+
+def test_run_until_then_resume():
+    node = fresh()
+
+    def prog():
+        yield P.Compute(10e-6)
+        yield P.Compute(10e-6)
+
+    node.engine.spawn(prog(), core=0)
+    t1 = node.engine.run(until=5e-6)
+    assert t1 == pytest.approx(5e-6)
+    t2 = node.engine.run()
+    assert t2 == pytest.approx(20e-6)
+
+
+def test_zero_byte_copy_is_free():
+    node = fresh()
+    sp = node.new_address_space(0, 0)
+    a = sp.alloc("a", 64)
+    b = sp.alloc("b", 64)
+
+    def prog():
+        yield P.Copy(src=a.view(0, 0), dst=b.view(0, 0))
+    node.engine.spawn(prog(), core=0)
+    assert node.engine.run() == 0.0
+
+
+def test_set_flag_group_single_writer_enforced():
+    node = fresh()
+    mine = Flag("mine", owner_core=0)
+    theirs = Flag("theirs", owner_core=3)
+
+    def prog():
+        yield P.SetFlagGroup((mine, theirs), 1)
+    node.engine.spawn(prog(), core=0)
+    with pytest.raises(SimulationError, match="single-writer"):
+        node.engine.run()
+
+
+def test_set_flag_group_wakes_all():
+    node = fresh()
+    flags = [Flag(f"f{i}", owner_core=0, line=None) for i in range(3)]
+    woke = []
+
+    def reader(i):
+        yield P.WaitFlag(flags[i], 1)
+        woke.append(i)
+
+    def writer():
+        yield P.Compute(10e-6)
+        yield P.SetFlagGroup(tuple(flags), 1)
+
+    for i in range(3):
+        node.engine.spawn(reader(i), core=i + 1)
+    node.engine.spawn(writer(), core=0)
+    node.engine.run()
+    assert sorted(woke) == [0, 1, 2]
+
+
+def test_reduce_accumulate_data_plane():
+    node = fresh()
+    sp = node.new_address_space(0, 0)
+    a = sp.alloc("a", 64)
+    dst = sp.alloc("dst", 64)
+    a.view().as_dtype(np.float32)[:] = 3.0
+    dst.view().as_dtype(np.float32)[:] = 10.0
+
+    def prog():
+        yield P.Reduce(srcs=(a.whole(),), dst=dst.whole(), op=np.add,
+                       dtype=np.float32, accumulate=True)
+    node.engine.spawn(prog(), core=0)
+    node.engine.run()
+    assert np.all(dst.view().as_dtype(np.float32) == 13.0)
+
+
+def test_reduce_empty_sources_is_noop():
+    node = fresh()
+    sp = node.new_address_space(0, 0)
+    dst = sp.alloc("dst", 64)
+
+    def prog():
+        yield P.Reduce(srcs=(), dst=dst.whole())
+    node.engine.spawn(prog(), core=0)
+    assert node.engine.run() == 0.0
+
+
+def test_atomic_line_sharing_with_flag():
+    """An atomic and a flag may share a line; coherence state is common."""
+    line = Line(owner_core=0)
+    flag = Flag("f", owner_core=0, line=line)
+    atom = Atomic("a", home_core=0, line=line)
+    assert flag.line is atom.line
+
+
+def test_negative_compute_rejected():
+    node = fresh()
+
+    def prog():
+        yield P.Compute(-1.0)
+    node.engine.spawn(prog(), core=0)
+    with pytest.raises(SimulationError, match="negative"):
+        node.engine.run()

@@ -1,0 +1,45 @@
+"""FigureResult machine-readable export."""
+
+import csv
+
+from repro.bench.figures import FigureResult, table1_systems
+from repro.bench.osu import OsuSeries
+from repro.cli import main
+
+
+def test_to_records_series():
+    s = OsuSeries("alpha")
+    s.add(4, 1e-6)
+    s.add(64, 2e-6)
+    res = FigureResult("f", "t", {("bcast", "alpha"): s})
+    recs = res.to_records()
+    assert len(recs) == 2
+    assert recs[0] == {"key0": "bcast", "key1": "alpha", "size": 4,
+                       "latency_s": 1e-6}
+
+
+def test_to_records_scalars_and_dicts():
+    res = FigureResult("f", "t", {
+        ("flat", 8): 1.5e-4,
+        ("tuned", "map-core"): {"intra-numa": 5, "inter-numa": 2},
+    })
+    recs = res.to_records()
+    assert {"key0": "flat", "key1": "8", "value": 1.5e-4} in recs
+    assert any(r.get("intra-numa") == 5 for r in recs)
+
+
+def test_write_csv(tmp_path):
+    res = table1_systems()
+    path = tmp_path / "t1.csv"
+    res.write_csv(path)
+    rows = list(csv.DictReader(open(path)))
+    assert rows and "key0" in rows[0]
+
+
+def test_cli_csv_flag(tmp_path, capsys):
+    path = tmp_path / "out.csv"
+    code = main(["figure", "table1", "--csv", str(path)])
+    assert code == 0
+    assert path.exists()
+    out = capsys.readouterr().out
+    assert "wrote" in out

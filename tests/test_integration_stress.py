@@ -1,0 +1,155 @@
+"""Integration stress: mixed operations, many iterations, sub-communicators.
+
+These exercise the monotonic-ledger machinery under adversarial op
+sequences — the place where reset races, slot reuse bugs and ledger
+mismatches would surface.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mpi import FLOAT, SUM, World
+from repro.mpi.colls import SmColl, Smhc, Tuned, Ucc
+from repro.node import Node
+from repro.sim import primitives as P
+from repro.xhc import Xhc
+
+from conftest import small_topo
+
+
+OPS = ("bcast", "allreduce", "reduce", "barrier", "gather", "allgather",
+       "alltoall", "reduce_scatter")
+
+
+def run_sequence(factory, sequence, nranks=8, block=256):
+    """Drive an arbitrary op sequence, verifying payloads at every step."""
+    node = Node(small_topo())
+    world = World(node, nranks)
+    comm = world.communicator(factory())
+
+    def program(comm_, ctx):
+        me = comm_.rank_of(ctx)
+        small = ctx.alloc("small", block)
+        small2 = ctx.alloc("small2", block)
+        big = ctx.alloc("big", block * nranks)
+        big2 = ctx.alloc("big2", block * nranks)
+        for it, op in enumerate(sequence):
+            if op == "bcast":
+                if me == it % nranks:
+                    small.fill((it * 3 + 1) % 251)
+                yield from comm_.bcast(ctx, small.whole(), it % nranks)
+                assert np.all(small.data == (it * 3 + 1) % 251), (op, it)
+            elif op == "allreduce":
+                small.view().as_dtype(np.float32)[:] = me + it
+                yield from comm_.allreduce(ctx, small.whole(),
+                                           small2.whole(), SUM, FLOAT)
+                expect = sum(range(nranks)) + nranks * it
+                assert np.all(small2.view().as_dtype(np.float32)
+                              == expect), (op, it)
+            elif op == "reduce":
+                root = it % nranks
+                small.view().as_dtype(np.float32)[:] = 1.0
+                yield from comm_.reduce(ctx, small.whole(),
+                                        small2.whole(), SUM, FLOAT, root)
+                if me == root:
+                    assert np.all(small2.view().as_dtype(np.float32)
+                                  == nranks), (op, it)
+            elif op == "barrier":
+                yield from comm_.barrier(ctx)
+            elif op == "gather":
+                root = (it + 1) % nranks
+                small.fill(me + 1)
+                yield from comm_.gather(
+                    ctx, small.whole(),
+                    big.whole() if me == root else None, root)
+                if me == root:
+                    for q in range(nranks):
+                        assert np.all(
+                            big.data[q * block:(q + 1) * block] == q + 1)
+            elif op == "allgather":
+                small.fill((me + it) % 251)
+                yield from comm_.allgather(ctx, small.whole(), big.whole())
+                for q in range(nranks):
+                    assert np.all(big.data[q * block:(q + 1) * block]
+                                  == (q + it) % 251), (op, it)
+            elif op == "alltoall":
+                for q in range(nranks):
+                    big.data[q * block:(q + 1) * block] = (me + q) % 251
+                yield from comm_.alltoall(ctx, big.whole(), big2.whole())
+                for q in range(nranks):
+                    assert np.all(big2.data[q * block:(q + 1) * block]
+                                  == (q + me) % 251), (op, it)
+            elif op == "reduce_scatter":
+                big.view().as_dtype(np.float32)[:] = me
+                yield from comm_.reduce_scatter_block(
+                    ctx, big.whole(), small2.whole(), SUM, FLOAT)
+                assert np.all(small2.view().as_dtype(np.float32)
+                              == sum(range(nranks))), (op, it)
+    comm.run(program)
+
+
+def test_xhc_full_mix():
+    run_sequence(Xhc, list(OPS) * 2)
+
+
+def test_tuned_full_mix():
+    run_sequence(Tuned, list(OPS) * 2)
+
+
+def test_xhc_many_iterations_small():
+    """Dozens of CICO ops stress the slot ring and deferred acks."""
+    run_sequence(Xhc, ["bcast", "allreduce"] * 25)
+
+
+@pytest.mark.parametrize("factory", [Xhc, Ucc, SmColl,
+                                     lambda: Smhc(tree=True)])
+def test_alternating_roots_and_sizes(factory):
+    node = Node(small_topo())
+    world = World(node, 8)
+    comm = world.communicator(factory())
+
+    def program(comm_, ctx):
+        me = comm_.rank_of(ctx)
+        for it, size in enumerate([16, 40_000, 700, 9_000, 64, 120_000]):
+            buf = ctx.alloc(f"b{it}", size)
+            root = (3 * it) % 8
+            if me == root:
+                buf.fill(it + 1)
+            yield from comm_.bcast(ctx, buf.whole(), root)
+            assert np.all(buf.data == it + 1), (me, it)
+    comm.run(program)
+
+
+def test_disjoint_subcommunicators_interleave():
+    """Two NUMA-local communicators plus the world comm, all active."""
+    node = Node(small_topo())
+    world = World(node, 8)
+    world_comm = world.communicator(Xhc())
+    low = world.communicator(Xhc(), ranks=[0, 1, 2, 3])
+    high = world.communicator(Xhc(), ranks=[4, 5, 6, 7])
+
+    def program(comm_, ctx):
+        me = comm_.rank_of(ctx)
+        sub = low if world.ranks.index(ctx) < 4 else high
+        sub_me = sub.rank_of(ctx)
+        wbuf = ctx.alloc("w", 512)
+        sbuf = ctx.alloc("s", 512)
+        for it in range(3):
+            if me == 0:
+                wbuf.fill(100 + it)
+            yield from comm_.bcast(ctx, wbuf.whole(), 0)
+            if sub_me == 0:
+                sbuf.fill(it + 1)
+            yield from sub.bcast(ctx, sbuf.whole(), 0)
+            assert np.all(wbuf.data == 100 + it)
+            assert np.all(sbuf.data == it + 1)
+    world_comm.run(program)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seq=st.lists(st.sampled_from(OPS), min_size=1, max_size=10),
+       nranks=st.sampled_from([4, 8, 13]))
+def test_random_sequences_xhc(seq, nranks):
+    """Property: any op sequence completes correctly on XHC."""
+    run_sequence(Xhc, seq, nranks=nranks)

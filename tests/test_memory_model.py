@@ -1,0 +1,79 @@
+"""Machine models: completeness, per-system distinctions."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import MemoryModelError
+from repro.memory.model import (ARM_N1_MODEL, EPYC_1P_MODEL, EPYC_2P_MODEL,
+                                MachineModel, model_for)
+from repro.topology import Distance, get_system
+
+from conftest import small_topo
+
+
+def test_all_models_cover_all_distances():
+    for model in (EPYC_1P_MODEL, EPYC_2P_MODEL, ARM_N1_MODEL):
+        for dist in Distance:
+            assert model.lat[dist] > 0
+            assert model.bw[dist] > 0
+
+
+def test_latency_monotonic_with_distance():
+    for model in (EPYC_1P_MODEL, EPYC_2P_MODEL, ARM_N1_MODEL):
+        lats = [model.lat[d] for d in sorted(Distance)]
+        assert lats == sorted(lats)
+
+
+def test_bandwidth_antitonic_with_distance():
+    for model in (EPYC_1P_MODEL, ARM_N1_MODEL):
+        bws = [model.bw[d] for d in sorted(Distance)]
+        assert bws == sorted(bws, reverse=True)
+
+
+def test_arm_numa_distance_is_marginal():
+    """ARM-N1 intra- vs cross-NUMA are nearly identical (Fig. 1a)."""
+    ratio = (ARM_N1_MODEL.lat[Distance.CROSS_NUMA]
+             / ARM_N1_MODEL.lat[Distance.INTRA_NUMA])
+    assert 1.0 <= ratio < 1.15
+    epyc_ratio = (EPYC_1P_MODEL.lat[Distance.CROSS_NUMA]
+                  / EPYC_1P_MODEL.lat[Distance.INTRA_NUMA])
+    assert epyc_ratio > ratio
+
+
+def test_arm_has_slc_not_llc():
+    assert ARM_N1_MODEL.llc_size == 0
+    assert ARM_N1_MODEL.slc_size > 0
+    assert EPYC_1P_MODEL.slc_size == 0
+    assert EPYC_1P_MODEL.llc_size > 0
+
+
+def test_kernel_mechanism_ordering():
+    """CMA suffers more lock contention and copies slower than KNEM."""
+    for model in (EPYC_1P_MODEL, ARM_N1_MODEL):
+        assert model.cma_lock_alpha > model.knem_lock_alpha
+        assert model.cma_bw_factor < model.knem_bw_factor <= 1.0
+
+
+def test_model_for_known_and_custom():
+    assert model_for(get_system("epyc-2p")).name == "Epyc-2P"
+    custom = model_for(small_topo())
+    assert custom.name == "mini"
+    assert custom.llc_size > 0  # mini topo has LLC groups
+    from repro.topology import build_symmetric
+    no_llc = model_for(build_symmetric("bare", 1, 1, 4, None))
+    assert no_llc.llc_size == 0 and no_llc.slc_size > 0
+
+
+def test_missing_distance_rejected():
+    lat = {d: 1e-9 for d in Distance}
+    bw = {d: 1e9 for d in list(Distance)[:-1]}  # drop one
+    with pytest.raises(MemoryModelError):
+        MachineModel("broken", lat=lat, bw=bw)
+
+
+def test_with_overrides_is_functional():
+    derived = EPYC_1P_MODEL.with_overrides(reduce_bw=1e9)
+    assert derived.reduce_bw == 1e9
+    assert EPYC_1P_MODEL.reduce_bw != 1e9
+    assert dataclasses.is_dataclass(derived)

@@ -1,0 +1,40 @@
+"""MPI datatypes and reduction operators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MPIError
+from repro.mpi import BYTE, DOUBLE, FLOAT, INT, MAX, MIN, PROD, SUM
+
+
+def test_itemsizes():
+    assert BYTE.itemsize == 1
+    assert INT.itemsize == 4
+    assert FLOAT.itemsize == 4
+    assert DOUBLE.itemsize == 8
+
+
+def test_count_of():
+    assert FLOAT.count_of(16) == 4
+    with pytest.raises(MPIError):
+        FLOAT.count_of(6)
+
+
+def test_np_dtypes():
+    assert FLOAT.np_dtype == np.float32
+    assert DOUBLE.np_dtype == np.float64
+    assert INT.np_dtype == np.int32
+
+
+def test_ops_apply():
+    a = np.array([1.0, 5.0])
+    b = np.array([3.0, 2.0])
+    assert (SUM(a, b) == [4.0, 7.0]).all()
+    assert (PROD(a, b) == [3.0, 10.0]).all()
+    assert (MAX(a, b) == [3.0, 5.0]).all()
+    assert (MIN(a, b) == [1.0, 2.0]).all()
+
+
+def test_op_names():
+    assert SUM.name == "MPI_SUM"
+    assert MAX.name == "MPI_MAX"

@@ -1,0 +1,53 @@
+"""Rank-to-core mapping policies (the Fig. 9a scenarios)."""
+
+import pytest
+
+from repro.errors import MPIError
+from repro.mpi import map_ranks
+from repro.topology import get_system
+
+from conftest import small_topo
+
+
+def test_map_core_is_sequential():
+    topo = small_topo()
+    assert map_ranks(topo, 6, "core") == [0, 1, 2, 3, 4, 5]
+
+
+def test_map_numa_round_robins():
+    topo = small_topo()  # 4 numa nodes of 4 cores
+    cores = map_ranks(topo, 8, "numa")
+    numas = [topo.numa_of_core(c).index for c in cores]
+    assert numas == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+def test_map_numa_full_machine_is_a_permutation():
+    topo = get_system("epyc-2p")
+    cores = map_ranks(topo, 64, "numa")
+    assert sorted(cores) == list(range(64))
+
+
+def test_explicit_mapping():
+    topo = small_topo()
+    assert map_ranks(topo, 3, [5, 2, 9]) == [5, 2, 9]
+
+
+def test_explicit_mapping_validation():
+    topo = small_topo()
+    with pytest.raises(MPIError):
+        map_ranks(topo, 2, [1])            # wrong length
+    with pytest.raises(MPIError):
+        map_ranks(topo, 2, [1, 1])         # duplicate core
+    with pytest.raises(MPIError):
+        map_ranks(topo, 2, [1, 99])        # out of range
+
+
+def test_too_many_ranks():
+    topo = small_topo()
+    with pytest.raises(MPIError):
+        map_ranks(topo, 17, "core")
+
+
+def test_unknown_policy():
+    with pytest.raises(MPIError):
+        map_ranks(small_topo(), 4, "zigzag")

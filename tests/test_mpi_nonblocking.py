@@ -1,0 +1,132 @@
+"""Non-blocking collectives: overlap, chaining, mixing with blocking."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import FLOAT, SUM, World
+from repro.mpi.colls import Tuned
+from repro.node import Node
+from repro.sim import primitives as P
+from repro.xhc import Xhc
+
+from conftest import small_topo
+
+
+def make(component_factory=Xhc, nranks=8):
+    node = Node(small_topo())
+    world = World(node, nranks)
+    return node, world, world.communicator(component_factory())
+
+
+@pytest.mark.parametrize("factory", [Xhc, Tuned])
+def test_iallreduce_correct(factory):
+    node, world, comm = make(factory)
+    out = {}
+
+    def program(comm_, ctx):
+        me = comm_.rank_of(ctx)
+        s = ctx.alloc("s", 4096)
+        r = ctx.alloc("r", 4096)
+        s.view().as_dtype(np.float32)[:] = me + 1
+        req = comm_.iallreduce(ctx, s.whole(), r.whole(), SUM, FLOAT)
+        yield P.Compute(1e-6)          # overlapped work
+        yield from req.wait()
+        out[me] = r.view().as_dtype(np.float32).copy()
+    comm.run(program)
+    assert all(np.all(v == sum(range(1, 9))) for v in out.values())
+
+
+def test_overlap_hides_collective_time():
+    """Compute issued between start and wait overlaps the collective."""
+    def run(overlapped):
+        node, world, comm = make(Xhc)
+        finish = {}
+
+        def program(comm_, ctx):
+            me = comm_.rank_of(ctx)
+            s = ctx.alloc("s", 65536)
+            r = ctx.alloc("r", 65536)
+            if overlapped:
+                req = comm_.iallreduce(ctx, s.whole(), r.whole(), SUM, FLOAT)
+                yield P.Compute(50e-6)
+                yield from req.wait()
+            else:
+                yield from comm_.allreduce(ctx, s.whole(), r.whole(),
+                                           SUM, FLOAT)
+                yield P.Compute(50e-6)
+            finish[me] = ctx.now
+        comm.run(program)
+        return max(finish.values())
+    assert run(True) < run(False)
+
+
+def test_multiple_outstanding_preserve_order():
+    node, world, comm = make(Xhc)
+    out = {}
+
+    def program(comm_, ctx):
+        me = comm_.rank_of(ctx)
+        bufs = [ctx.alloc(f"b{i}", 512) for i in range(3)]
+        reqs = []
+        for i, buf in enumerate(bufs):
+            if me == 0:
+                buf.fill(i + 1)
+            reqs.append(comm_.ibcast(ctx, buf.whole(), 0))
+        for req in reqs:
+            yield from req.wait()
+        out[me] = [int(b.data[0]) for b in bufs]
+    comm.run(program)
+    assert all(v == [1, 2, 3] for v in out.values())
+
+
+def test_blocking_joins_the_chain():
+    """A blocking collective issued after an outstanding non-blocking one
+    must not overtake it."""
+    node, world, comm = make(Xhc)
+    out = {}
+
+    def program(comm_, ctx):
+        me = comm_.rank_of(ctx)
+        a = ctx.alloc("a", 256)
+        b = ctx.alloc("b", 256)
+        if me == 0:
+            a.fill(7)
+            b.fill(9)
+        req = comm_.ibcast(ctx, a.whole(), 0)
+        yield from comm_.bcast(ctx, b.whole(), 0)   # joins the chain
+        yield from req.wait()
+        out[me] = (int(a.data[0]), int(b.data[0]))
+    comm.run(program)
+    assert all(v == (7, 9) for v in out.values())
+
+
+def test_done_probe():
+    node, world, comm = make(Xhc, nranks=2)
+    seen = []
+
+    def program(comm_, ctx):
+        buf = ctx.alloc("b", 64)
+        req = comm_.ibarrier(ctx)
+        seen.append(req.done())
+        yield from req.wait()
+        seen.append(req.done())
+    comm.run(program)
+    assert seen.count(True) >= 2          # done after wait, always
+    assert all(isinstance(x, bool) for x in seen)
+
+
+def test_ireduce():
+    node, world, comm = make(Xhc)
+    out = {}
+
+    def program(comm_, ctx):
+        me = comm_.rank_of(ctx)
+        s = ctx.alloc("s", 1024)
+        r = ctx.alloc("r", 1024)
+        s.view().as_dtype(np.float32)[:] = 2.0
+        req = comm_.ireduce(ctx, s.whole(), r.whole(), SUM, FLOAT, root=0)
+        yield from req.wait()
+        if me == 0:
+            out["v"] = r.view().as_dtype(np.float32).copy()
+    comm.run(program)
+    assert np.all(out["v"] == 16.0)

@@ -1,0 +1,62 @@
+"""MCA-like parameter registry."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.params import Param, ParamRegistry, ParamSet, non_negative, positive
+
+REG = ParamRegistry([
+    Param("chunk", 16384, "pipeline chunk", positive),
+    Param("threshold", 1024, "cico threshold", non_negative),
+    Param("label", "xhc", "free-form"),
+])
+
+
+def test_defaults():
+    params = ParamSet(REG)
+    assert params["chunk"] == 16384
+    assert params["label"] == "xhc"
+
+
+def test_overrides_and_validation():
+    params = ParamSet(REG, {"chunk": 4096})
+    assert params["chunk"] == 4096
+    with pytest.raises(ConfigError):
+        ParamSet(REG, {"chunk": -1})
+    with pytest.raises(ConfigError):
+        ParamSet(REG, {"nope": 1})
+
+
+def test_duplicate_declaration_rejected():
+    reg = ParamRegistry([Param("a", 1)])
+    with pytest.raises(ConfigError):
+        reg.declare(Param("a", 2))
+
+
+def test_copy_with():
+    params = ParamSet(REG, {"chunk": 4096})
+    derived = params.copy_with(threshold=0)
+    assert derived["chunk"] == 4096
+    assert derived["threshold"] == 0
+    assert params["threshold"] == 1024
+
+
+def test_merged_registries():
+    extra = ParamRegistry([Param("radix", 4, check=positive)])
+    merged = REG.merged(extra)
+    assert "radix" in merged and "chunk" in merged
+    with pytest.raises(ConfigError):
+        REG.merged(ParamRegistry([Param("chunk", 1)]))
+
+
+def test_as_dict_and_overridden():
+    params = ParamSet(REG, {"label": "flat"})
+    assert params.overridden() == {"label": "flat"}
+    full = params.as_dict()
+    assert full["chunk"] == 16384 and full["label"] == "flat"
+
+
+def test_get_with_default():
+    params = ParamSet(REG)
+    assert params.get("chunk") == 16384
+    assert params.get("missing", 7) == 7

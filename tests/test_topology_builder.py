@@ -1,0 +1,71 @@
+"""Topology builders: symmetric helper and manual construction."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TopologyError
+from repro.topology import ObjKind, TopologyBuilder, build_symmetric
+
+
+def test_manual_irregular_tree():
+    b = TopologyBuilder("weird")
+    s = b.socket()
+    n0 = b.numa(s)
+    b.cores(n0, 3)
+    n1 = b.numa(s)
+    llc = b.llc(n1)
+    b.cores(llc, 2)
+    topo = b.build()
+    assert topo.n_cores == 5
+    assert topo.llc_of_core(0) is None
+    assert topo.llc_of_core(3).index == 0
+
+
+def test_symmetric_requires_positive_counts():
+    with pytest.raises(TopologyError):
+        build_symmetric("bad", 0, 1, 1)
+    with pytest.raises(TopologyError):
+        build_symmetric("bad", 1, 1, 0)
+
+
+def test_symmetric_llc_divisibility():
+    with pytest.raises(TopologyError):
+        build_symmetric("bad", 1, 1, 6, cores_per_llc=4)
+
+
+def test_cores_count_validation():
+    b = TopologyBuilder()
+    s = b.socket()
+    n = b.numa(s)
+    with pytest.raises(TopologyError):
+        b.cores(n, 0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    sockets=st.integers(1, 3),
+    numa=st.integers(1, 3),
+    per_llc=st.sampled_from([None, 1, 2, 4]),
+    llcs_per_numa=st.integers(1, 3),
+)
+def test_symmetric_shape_invariants(sockets, numa, per_llc, llcs_per_numa):
+    """Property: counts of every level multiply out exactly."""
+    cores_per_numa = (per_llc or 2) * llcs_per_numa
+    topo = build_symmetric("prop", sockets, numa, cores_per_numa, per_llc)
+    assert topo.n_cores == sockets * numa * cores_per_numa
+    assert topo.count(ObjKind.SOCKET) == sockets
+    assert topo.count(ObjKind.NUMA) == sockets * numa
+    if per_llc is None:
+        assert topo.count(ObjKind.LLC) == 0
+    else:
+        assert topo.count(ObjKind.LLC) == topo.n_cores // per_llc
+    # Depth-first core numbering: consecutive cores share a NUMA node
+    # except at NUMA boundaries.
+    for i in range(topo.n_cores - 1):
+        same = topo.numa_of_core(i) is topo.numa_of_core(i + 1)
+        assert same == ((i + 1) % cores_per_numa != 0)
+
+
+def test_machine_attrs_carried():
+    topo = build_symmetric("x", 1, 1, 2, machine_attrs={"arch": "test"})
+    assert topo.machine.attrs["arch"] == "test"

@@ -1,0 +1,82 @@
+"""Topology spec loading/saving."""
+
+import json
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import ObjKind, get_system
+from repro.topology.io import (load_topology, save_topology,
+                               topology_from_spec, topology_to_spec)
+
+from conftest import small_topo
+
+
+def test_symmetric_spec():
+    topo = topology_from_spec({
+        "name": "sym",
+        "symmetric": {"sockets": 2, "numa_per_socket": 2,
+                      "cores_per_numa": 4, "cores_per_llc": 2},
+    })
+    assert topo.n_cores == 16
+    assert topo.count(ObjKind.LLC) == 8
+    assert topo.name == "sym"
+
+
+def test_explicit_tree_spec():
+    topo = topology_from_spec({
+        "name": "weird",
+        "sockets": [
+            {"numa": [{"cores": 3},
+                      {"llc": [{"cores": 2}, {"cores": 2}]}]},
+            {"numa": [{"cores": 1}]},
+        ],
+    })
+    assert topo.n_cores == 8
+    assert topo.count(ObjKind.NUMA) == 3
+    assert topo.count(ObjKind.LLC) == 2
+    assert topo.llc_of_core(0) is None
+    assert topo.llc_of_core(3) is not None
+
+
+def test_roundtrip():
+    original = small_topo()
+    spec = topology_to_spec(original)
+    clone = topology_from_spec(spec)
+    assert clone.n_cores == original.n_cores
+    assert clone.count(ObjKind.NUMA) == original.count(ObjKind.NUMA)
+    assert clone.count(ObjKind.LLC) == original.count(ObjKind.LLC)
+    for c in range(original.n_cores):
+        assert (clone.numa_of_core(c).index
+                == original.numa_of_core(c).index)
+
+
+def test_roundtrip_table1_systems():
+    for name in ("epyc-1p", "epyc-2p", "arm-n1"):
+        topo = get_system(name)
+        clone = topology_from_spec(topology_to_spec(topo))
+        assert clone.n_cores == topo.n_cores
+        assert clone.has_llc == topo.has_llc
+
+
+def test_file_io(tmp_path):
+    path = tmp_path / "node.json"
+    save_topology(small_topo(), path)
+    data = json.loads(path.read_text())
+    assert data["name"] == "mini"
+    clone = load_topology(path)
+    assert clone.n_cores == 16
+
+
+def test_spec_validation():
+    with pytest.raises(TopologyError):
+        topology_from_spec("not a dict")
+    with pytest.raises(TopologyError):
+        topology_from_spec({"name": "x"})
+    with pytest.raises(TopologyError):
+        topology_from_spec({"symmetric": {"bogus": 1}})
+    with pytest.raises(TopologyError):
+        topology_from_spec({"sockets": [{"numa": [{}]}]})
+    with pytest.raises(TopologyError):
+        topology_from_spec(
+            {"sockets": [{"numa": [{"cores": 2, "llc": []}]}]})

@@ -1,0 +1,100 @@
+"""Topology object tree: structure, queries, validation."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import ObjKind, Topology, build_symmetric
+from repro.topology.objects import TopoObject
+
+from conftest import small_topo
+
+
+def test_counts_per_kind():
+    topo = small_topo()  # 2 sockets x 2 numa x 4 cores, 2-core LLCs
+    assert topo.n_cores == 16
+    assert topo.count(ObjKind.SOCKET) == 2
+    assert topo.count(ObjKind.NUMA) == 4
+    assert topo.count(ObjKind.LLC) == 8
+    assert topo.count(ObjKind.MACHINE) == 1
+
+
+def test_core_indices_are_dense_and_ordered():
+    topo = small_topo()
+    assert [c.index for c in topo.cores] == list(range(16))
+    for i in range(16):
+        assert topo.core(i).index == i
+
+
+def test_core_index_out_of_range():
+    topo = small_topo()
+    with pytest.raises(TopologyError):
+        topo.core(16)
+    with pytest.raises(TopologyError):
+        topo.ancestor_of_core(-1, ObjKind.NUMA)
+
+
+def test_ancestor_lookup():
+    topo = small_topo()
+    assert topo.numa_of_core(0).index == 0
+    assert topo.numa_of_core(5).index == 1
+    assert topo.socket_of_core(7).index == 0
+    assert topo.socket_of_core(8).index == 1
+    assert topo.llc_of_core(2).index == 1
+    assert topo.llc_of_core(3).index == 1
+
+
+def test_machine_ancestor_is_machine():
+    topo = small_topo()
+    assert topo.ancestor_of_core(3, ObjKind.MACHINE) is topo.machine
+    assert topo.ancestor_of_core(3, ObjKind.CORE) is topo.core(3)
+
+
+def test_cpuset_partition():
+    """NUMA cpusets partition the machine's cores exactly."""
+    topo = small_topo()
+    seen = set()
+    for numa in topo.objects(ObjKind.NUMA):
+        cpuset = numa.cpuset()
+        assert not cpuset & seen
+        seen |= cpuset
+    assert seen == set(range(16))
+
+
+def test_common_ancestor_kinds():
+    topo = small_topo()
+    assert topo.common_ancestor(0, 1).kind == ObjKind.LLC
+    assert topo.common_ancestor(0, 2).kind == ObjKind.NUMA
+    assert topo.common_ancestor(0, 4).kind == ObjKind.SOCKET
+    assert topo.common_ancestor(0, 8).kind == ObjKind.MACHINE
+
+
+def test_group_cores_by_covers_everything():
+    topo = small_topo()
+    groups = topo.group_cores_by(ObjKind.NUMA)
+    assert sorted(c for g in groups for c in g) == list(range(16))
+    assert all(len(g) == 4 for g in groups)
+
+
+def test_no_llc_machine_has_no_llc_groups():
+    topo = build_symmetric("noLLC", 1, 2, 3, cores_per_llc=None)
+    assert not topo.has_llc
+    assert topo.llc_of_core(0) is None
+    assert topo.count(ObjKind.LLC) == 0
+
+
+def test_root_must_be_machine():
+    stray = TopoObject(ObjKind.SOCKET, 0)
+    with pytest.raises(TopologyError):
+        Topology(stray)
+
+
+def test_describe_mentions_counts():
+    topo = small_topo()
+    text = topo.describe()
+    assert "cores=16" in text and "numa=4" in text and "sockets=2" in text
+
+
+def test_filter_cores():
+    topo = small_topo()
+    odd = topo.filter_cores(lambda c: c.index % 2 == 1)
+    assert odd == list(range(1, 16, 2))

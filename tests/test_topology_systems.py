@@ -1,0 +1,50 @@
+"""Table I systems: exact structure of the three evaluation machines."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import ObjKind, get_system
+
+
+def test_epyc_1p_matches_table1():
+    topo = get_system("epyc-1p")
+    assert topo.n_cores == 32
+    assert topo.count(ObjKind.NUMA) == 4
+    assert topo.count(ObjKind.SOCKET) == 1
+    # 4-core CCXs sharing an L3.
+    assert topo.count(ObjKind.LLC) == 8
+    assert len(topo.llc_of_core(0).cores()) == 4
+
+
+def test_epyc_2p_matches_table1():
+    topo = get_system("epyc-2p")
+    assert topo.n_cores == 64
+    assert topo.count(ObjKind.NUMA) == 8
+    assert topo.count(ObjKind.SOCKET) == 2
+    assert topo.machine.attrs["arch"] == "x86_64"
+
+
+def test_arm_n1_matches_table1():
+    topo = get_system("arm-n1")
+    assert topo.n_cores == 160
+    assert topo.count(ObjKind.NUMA) == 8
+    assert topo.count(ObjKind.SOCKET) == 2
+    # No shared LLC between cores (paper SSV-D1): only a system-level cache.
+    assert not topo.has_llc
+    assert topo.machine.attrs["cache_kind"] == "slc"
+
+
+def test_lookup_is_case_and_separator_insensitive():
+    assert get_system("EPYC_1P").name == "Epyc-1P"
+    assert get_system("Arm-N1").name == "ARM-N1"
+
+
+def test_unknown_system_raises():
+    with pytest.raises(TopologyError):
+        get_system("power10")
+
+
+def test_fresh_instances_per_call():
+    a = get_system("epyc-1p")
+    b = get_system("epyc-1p")
+    assert a is not b

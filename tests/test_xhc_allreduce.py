@@ -1,0 +1,121 @@
+"""XHC Allreduce: reduction partitioning, pipelining, hierarchy variants."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import DOUBLE, FLOAT, MAX, PROD, SUM, World
+from repro.node import Node
+from repro.xhc import Xhc
+
+from conftest import (assert_allreduce_correct, run_allreduce, small_topo)
+
+
+@pytest.mark.parametrize("hierarchy", ["flat", "numa", "numa+socket"])
+@pytest.mark.parametrize("size", [16, 1024, 5000, 80_000])
+def test_correct_across_hierarchies(hierarchy, size):
+    out, _ = run_allreduce(lambda: Xhc(hierarchy=hierarchy), nranks=16,
+                           size=size, iters=2)
+    assert_allreduce_correct(out, 16)
+
+
+def test_small_message_single_reducer():
+    """The minimum-index limit: one member reduces a tiny payload."""
+    from repro.xhc.hierarchy import build_hierarchy
+    from repro.mpi.datatypes import FLOAT as F
+    node = Node(small_topo())
+    world = World(node, 8)
+    comp = Xhc()
+    comm = world.communicator(comp)
+    hier = comp._hierarchy(comm, 0)
+    group = hier.levels[0][0]
+    assignments = [comp._assignment(group, m, 8, F)
+                   for m in group.nonleaders]
+    assert sum(a is not None for a in assignments) == 1
+
+
+def test_large_message_work_is_partitioned():
+    from repro.mpi.datatypes import FLOAT as F
+    node = Node(small_topo())
+    world = World(node, 8)
+    comp = Xhc()
+    comm = world.communicator(comp)
+    hier = comp._hierarchy(comm, 0)
+    group = hier.levels[0][0]
+    assignments = [comp._assignment(group, m, 64 * 1024, F)
+                   for m in group.nonleaders]
+    assert all(a is not None for a in assignments)
+    covered = sorted(assignments)
+    assert covered[0][0] == 0 and covered[-1][1] == 64 * 1024
+
+
+def test_ops_and_dtypes():
+    out, _ = run_allreduce(Xhc, nranks=8, size=2048, op=PROD, dtype=DOUBLE,
+                           iters=1)
+    expect = float(np.prod(np.arange(1, 9, dtype=np.float64)))
+    for rec in out.values():
+        assert np.all(rec["data"] == expect)
+    out, _ = run_allreduce(Xhc, nranks=8, size=2048, op=MAX, dtype=FLOAT,
+                           iters=1)
+    for rec in out.values():
+        assert np.all(rec["data"] == 8)
+
+
+def test_reduce_min_configurable():
+    out, _ = run_allreduce(lambda: Xhc(reduce_min=8), nranks=8, size=512,
+                           iters=2)
+    assert_allreduce_correct(out, 8)
+
+
+def test_uneven_sizes_with_odd_ranks():
+    for size in (20, 1000, 30_004):
+        out, _ = run_allreduce(Xhc, nranks=11, size=size, iters=1)
+        assert_allreduce_correct(out, 11, iters=1)
+
+
+def test_mixed_collectives_sequence():
+    """Bcast and allreduce interleave on one XHC communicator."""
+    node = Node(small_topo())
+    world = World(node, 8)
+    comm = world.communicator(Xhc())
+
+    def program(comm_, ctx):
+        me = comm_.rank_of(ctx)
+        buf = ctx.alloc("b", 4096)
+        s = ctx.alloc("s", 4096)
+        r = ctx.alloc("r", 4096)
+        for it in range(3):
+            if me == 2:
+                buf.fill(it)
+            yield from comm_.bcast(ctx, buf.whole(), 2)
+            assert np.all(buf.data == it)
+            s.view().as_dtype(np.float32)[:] = me
+            yield from comm_.allreduce(ctx, s.whole(), r.whole(), SUM, FLOAT)
+            assert np.all(r.view().as_dtype(np.float32) == sum(range(8)))
+    comm.run(program)
+
+
+def test_cico_allreduce_ring_reuse():
+    node = Node(small_topo())
+    world = World(node, 8)
+    comm = world.communicator(Xhc(cico_ring=2))
+
+    def program(comm_, ctx):
+        me = comm_.rank_of(ctx)
+        s = ctx.alloc("s", 256)
+        r = ctx.alloc("r", 256)
+        for it in range(8):
+            s.view().as_dtype(np.float32)[:] = me + it
+            yield from comm_.allreduce(ctx, s.whole(), r.whole(), SUM, FLOAT)
+            assert np.all(r.view().as_dtype(np.float32)
+                          == sum(range(8)) + 8 * it), f"it {it}"
+    comm.run(program)
+
+
+def test_flat_is_slower_than_tree_for_allreduce():
+    """Fig. 11: XHC-flat trails XHC-tree at every size (unlike bcast)."""
+    def mean_latency(hierarchy, size):
+        out, _ = run_allreduce(lambda: Xhc(hierarchy=hierarchy), nranks=16,
+                               size=size, iters=3, data_movement=False)
+        return float(np.mean([r["latency"] for r in out.values()]))
+    for size in (64, 32_768):
+        assert mean_latency("numa+socket", size) < mean_latency("flat", size)

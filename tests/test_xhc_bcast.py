@@ -1,0 +1,140 @@
+"""XHC Broadcast: paths, pipelining, acknowledgments, flag layouts."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import World
+from repro.node import Node
+from repro.sim import primitives as P
+from repro.xhc import Xhc, XhcConfig
+
+from conftest import assert_bcast_correct, run_bcast, small_topo
+
+
+def test_cico_path_below_threshold():
+    out, node = run_bcast(Xhc, nranks=8, size=1024, iters=2)
+    assert_bcast_correct(out, 8, 101)
+    assert node.xpmem.attaches == 0
+
+
+def test_single_copy_path_above_threshold():
+    out, node = run_bcast(Xhc, nranks=8, size=1025, iters=2)
+    assert_bcast_correct(out, 8, 101)
+    assert node.xpmem.attaches > 0
+
+
+def test_threshold_configurable():
+    out, node = run_bcast(lambda: Xhc(cico_threshold=4096), nranks=8,
+                          size=4000, iters=1)
+    assert_bcast_correct(out, 8, 100)
+    assert node.xpmem.attaches == 0
+
+
+def test_pipelining_with_tiny_chunks():
+    out, _ = run_bcast(lambda: Xhc(chunk_size=512), nranks=8, size=10_000,
+                       iters=2)
+    assert_bcast_correct(out, 8, 101)
+
+
+def test_per_level_chunk_sizes():
+    out, _ = run_bcast(lambda: Xhc(chunk_size=(1024, 4096)), nranks=16,
+                       size=20_000, iters=2)
+    assert_bcast_correct(out, 16, 101)
+
+
+def test_flag_layout_variants_correct():
+    for layout in ("single", "multi-shared", "multi-separate"):
+        for hierarchy in ("flat", "numa+socket"):
+            out, _ = run_bcast(
+                lambda: Xhc(hierarchy=hierarchy, flag_layout=layout),
+                nranks=8, size=256, iters=3)
+            assert_bcast_correct(out, 8, 102)
+
+
+def test_multi_shared_uses_one_line_per_leader():
+    node = Node(small_topo())
+    world = World(node, 8)
+    comp = Xhc(hierarchy="flat", flag_layout="multi-shared")
+    comm = world.communicator(comp)
+
+    def program(comm_, ctx):
+        buf = ctx.alloc("b", 64)
+        yield from comm_.bcast(ctx, buf.whole(), 0)
+    comm.run(program)
+    lines = {f.line.id for f in comp._avail_multi.values()}
+    assert len(lines) == 1
+
+
+def test_multi_separate_uses_one_line_per_child():
+    node = Node(small_topo())
+    world = World(node, 8)
+    comp = Xhc(hierarchy="flat", flag_layout="multi-separate")
+    comm = world.communicator(comp)
+
+    def program(comm_, ctx):
+        buf = ctx.alloc("b", 64)
+        yield from comm_.bcast(ctx, buf.whole(), 0)
+    comm.run(program)
+    lines = {f.line.id for f in comp._avail_multi.values()}
+    assert len(lines) == 7
+
+
+def test_message_pattern_is_root_invariant():
+    """Table II: XHC-tree's edge distances do not change with the root."""
+    from repro.topology.distance import message_distance_label
+
+    def pattern(root):
+        out, node = run_bcast(Xhc, nranks=16, size=2048, iters=1, root=root)
+        counts = {"intra-numa": 0, "inter-numa": 0, "inter-socket": 0}
+        for _t, label, m in node.engine.trace:
+            if label == "message":
+                counts[message_distance_label(node.topo, m["src"],
+                                              m["dst"])] += 1
+        return counts
+    assert pattern(0) == pattern(9)
+
+
+def test_varying_sizes_across_ops():
+    """CICO and single-copy ops interleave on one communicator."""
+    node = Node(small_topo())
+    world = World(node, 8)
+    comm = world.communicator(Xhc())
+
+    def program(comm_, ctx):
+        me = comm_.rank_of(ctx)
+        for it, size in enumerate([64, 40_000, 512, 9_000, 100]):
+            buf = ctx.alloc(f"b{it}", size)
+            if me == 0:
+                buf.fill(it + 1)
+            yield from comm_.bcast(ctx, buf.whole(), 0)
+            assert np.all(buf.data == it + 1)
+    comm.run(program)
+
+
+def test_deferred_ack_ring_reuses_slots_safely():
+    """More back-to-back CICO ops than ring slots, values must not tear."""
+    node = Node(small_topo())
+    world = World(node, 8)
+    comm = world.communicator(Xhc(cico_ring=2))
+
+    def program(comm_, ctx):
+        me = comm_.rank_of(ctx)
+        buf = ctx.alloc("b", 128)
+        for it in range(10):
+            if me == 0:
+                buf.fill(it)
+            yield from comm_.bcast(ctx, buf.whole(), 0)
+            assert np.all(buf.data == it), f"iteration {it} torn"
+    comm.run(program)
+
+
+def test_zero_and_single_rank_degenerate():
+    node = Node(small_topo())
+    world = World(node, 1)
+    comm = world.communicator(Xhc())
+
+    def program(comm_, ctx):
+        buf = ctx.alloc("b", 64)
+        yield from comm_.bcast(ctx, buf.whole(), 0)
+        yield P.Compute(0)
+    comm.run(program)

@@ -1,0 +1,57 @@
+"""XHC configuration surface."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.topology.objects import ObjKind
+from repro.xhc import XhcConfig
+
+
+def test_defaults_match_paper():
+    cfg = XhcConfig()
+    assert cfg.hierarchy == "numa+socket"
+    assert cfg.cico_threshold == 1024      # SSIV-C: defaults to 1 KB
+    assert cfg.flag_layout == "single"
+
+
+def test_tokens_parse():
+    assert XhcConfig(hierarchy="numa+socket").tokens() == \
+        [ObjKind.NUMA, ObjKind.SOCKET]
+    assert XhcConfig(hierarchy="l3+numa+socket").tokens() == \
+        [ObjKind.LLC, ObjKind.NUMA, ObjKind.SOCKET]
+    assert XhcConfig(hierarchy="flat").tokens() == []
+
+
+def test_unknown_token_rejected():
+    with pytest.raises(ConfigError):
+        XhcConfig(hierarchy="numa+hyperlane")
+
+
+def test_chunk_per_level():
+    cfg = XhcConfig(chunk_size=(8192, 16384, 65536))
+    assert cfg.chunk_for_level(0) == 8192
+    assert cfg.chunk_for_level(2) == 65536
+    assert cfg.chunk_for_level(9) == 65536  # clamps to last
+    scalar = XhcConfig(chunk_size=4096)
+    assert scalar.chunk_for_level(5) == 4096
+
+
+def test_invalid_values_rejected():
+    with pytest.raises(ConfigError):
+        XhcConfig(chunk_size=0)
+    with pytest.raises(ConfigError):
+        XhcConfig(chunk_size=(1024, -1))
+    with pytest.raises(ConfigError):
+        XhcConfig(cico_threshold=-1)
+    with pytest.raises(ConfigError):
+        XhcConfig(flag_layout="triple")
+    with pytest.raises(ConfigError):
+        XhcConfig(reduce_min=0)
+    with pytest.raises(ConfigError):
+        XhcConfig(cico_ring=1)
+
+
+def test_frozen():
+    cfg = XhcConfig()
+    with pytest.raises(Exception):
+        cfg.cico_threshold = 5

@@ -1,0 +1,139 @@
+"""XHC hierarchy construction (Fig. 2 and SSV-C's level counts)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology import get_system
+from repro.xhc import XhcConfig, build_hierarchy
+from repro.xhc.hierarchy import Hierarchy
+
+from conftest import small_topo
+
+TOKENS = XhcConfig().tokens()  # numa+socket
+
+
+def full_machine(system):
+    topo = get_system(system)
+    return topo, list(range(topo.n_cores))
+
+
+def test_level_counts_match_paper():
+    """numa+socket: 3 levels on the dual-socket systems, 2 on Epyc-1P."""
+    for system, levels in (("epyc-1p", 2), ("epyc-2p", 3), ("arm-n1", 3)):
+        topo, cores = full_machine(system)
+        h = build_hierarchy(topo, cores, TOKENS, root=0)
+        assert h.n_levels == levels, system
+
+
+def test_fig2_structure_epyc2p():
+    topo, cores = full_machine("epyc-2p")
+    h = build_hierarchy(topo, cores, TOKENS, root=0)
+    assert [len(level) for level in h.levels] == [8, 2, 1]
+    assert all(len(g.members) == 8 for g in h.levels[0])
+    assert all(len(g.members) == 4 for g in h.levels[1])
+    assert h.levels[2][0].members == [0, 32]
+
+
+def test_root_is_always_top_leader():
+    topo, cores = full_machine("epyc-2p")
+    for root in (0, 10, 63):
+        h = build_hierarchy(topo, cores, TOKENS, root=root)
+        assert h.levels[-1][0].leader == root
+        assert h.parent(root) is None
+        # Root leads a group at every level it appears in.
+        assert len(h.led_groups[root]) == h.n_levels
+
+
+def test_flat_hierarchy():
+    topo, cores = full_machine("epyc-1p")
+    h = build_hierarchy(topo, cores, [], root=5)
+    assert h.n_levels == 1
+    assert h.levels[0][0].members == list(range(32))
+    assert h.levels[0][0].leader == 5
+    assert len(h.children(5)) == 31
+
+
+def test_every_rank_has_exactly_one_pull_parent():
+    topo, cores = full_machine("epyc-2p")
+    h = build_hierarchy(topo, cores, TOKENS, root=0)
+    for r in range(64):
+        if r == 0:
+            assert h.parent(r) is None
+        else:
+            assert h.parent(r) is not None
+    # Children lists partition all non-root ranks.
+    all_children = [c for r in range(64) for c, _ in h.children(r)]
+    assert sorted(all_children) == [r for r in range(64) if r != 0]
+
+
+def test_table2_edge_counts():
+    """The XHC-tree pattern of Table II: 1 inter-socket, 6 inter-NUMA,
+    56 intra-NUMA edges on Epyc-2P, independent of root."""
+    from repro.topology.distance import message_distance_label
+    topo, cores = full_machine("epyc-2p")
+    for root in (0, 10):
+        h = build_hierarchy(topo, cores, TOKENS, root=root)
+        counts = {"intra-numa": 0, "inter-numa": 0, "inter-socket": 0}
+        for r in range(64):
+            p = h.parent(r)
+            if p is not None:
+                counts[message_distance_label(topo, cores[p], cores[r])] += 1
+        assert counts == {"intra-numa": 56, "inter-numa": 6,
+                          "inter-socket": 1}
+
+
+def test_degenerate_levels_are_skipped():
+    # One rank per NUMA node: the numa level groups are singletons.
+    topo = small_topo()
+    cores = [0, 4, 8, 12]  # one core per numa
+    h = build_hierarchy(topo, cores, TOKENS, root=0)
+    # numa level skipped; socket level groups 2+2; top level.
+    assert [len(level) for level in h.levels] == [2, 1]
+
+
+def test_single_rank():
+    topo = small_topo()
+    h = build_hierarchy(topo, [3], TOKENS, root=0)
+    assert h.n_levels == 1
+    assert h.children(0) == []
+
+
+def test_irregular_rank_subsets():
+    topo = small_topo()
+    cores = [0, 1, 2, 5, 6, 13]
+    h = build_hierarchy(topo, cores, TOKENS, root=2)
+    # All ranks reachable.
+    reach = {2}
+    for r in range(len(cores)):
+        p = h.parent(r)
+        if p is not None:
+            reach.add(r)
+    assert reach == set(range(len(cores)))
+
+
+@settings(max_examples=25, deadline=None)
+@given(nranks=st.integers(2, 32), root=st.integers(0, 31), data=st.data())
+def test_hierarchy_properties(nranks, root, data):
+    """Property: valid tree over arbitrary core subsets and roots."""
+    topo = get_system("epyc-1p")
+    cores = data.draw(st.permutations(range(32)))[:nranks]
+    root = root % nranks
+    h = build_hierarchy(topo, list(cores), TOKENS, root=root)
+    # (a) the root is the unique parentless rank
+    parentless = [r for r in range(nranks) if h.parent(r) is None]
+    assert parentless == [root]
+    # (b) following parents always terminates at the root
+    for r in range(nranks):
+        seen = set()
+        cur = r
+        while cur is not None:
+            assert cur not in seen
+            seen.add(cur)
+            cur = h.parent(cur)
+        assert root in seen
+    # (c) pull levels are consistent with group levels
+    for r in range(nranks):
+        if r != root:
+            g = h.member_group[r]
+            assert g.leader == h.parent(r)
+            assert h.pull_level(r) == g.level

@@ -1,0 +1,72 @@
+"""XHC adapts its hierarchy to the actual rank placement (Fig. 9a).
+
+The hierarchy is built from the cores ranks actually sit on, so a
+round-robin (map-numa) placement yields groups of the same *locality* as
+the sequential one — only the rank ids inside each group differ.
+"""
+
+import numpy as np
+
+from repro.mpi import World, map_ranks
+from repro.node import Node
+from repro.topology import get_system
+from repro.topology.distance import message_distance_label
+from repro.xhc import Xhc, XhcConfig, build_hierarchy
+
+from conftest import small_topo
+
+
+def edge_distances(mapping):
+    topo = get_system("epyc-2p")
+    cores = map_ranks(topo, 64, mapping)
+    hier = build_hierarchy(topo, cores, XhcConfig().tokens(), root=0)
+    counts = {"intra-numa": 0, "inter-numa": 0, "inter-socket": 0}
+    for r in range(64):
+        p = hier.parent(r)
+        if p is not None:
+            counts[message_distance_label(topo, cores[p], cores[r])] += 1
+    return counts
+
+
+def test_edge_distances_invariant_under_mapping():
+    assert edge_distances("core") == edge_distances("numa") == {
+        "intra-numa": 56, "inter-numa": 6, "inter-socket": 1,
+    }
+
+
+def test_groups_are_topology_local_under_map_numa():
+    topo = get_system("epyc-2p")
+    cores = map_ranks(topo, 64, "numa")
+    hier = build_hierarchy(topo, cores, XhcConfig().tokens(), root=0)
+    for group in hier.levels[0]:
+        numas = {topo.numa_of_core(cores[m]).index for m in group.members}
+        assert len(numas) == 1, group
+
+
+def test_bcast_correct_under_map_numa_and_nonzero_root():
+    node = Node(get_system("epyc-2p"))
+    world = World(node, 64, mapping="numa")
+    comm = world.communicator(Xhc())
+
+    def program(comm_, ctx):
+        me = comm_.rank_of(ctx)
+        buf = ctx.alloc("b", 4096)
+        for it, root in enumerate((0, 17, 63)):
+            if me == root:
+                buf.fill(it + 1)
+            yield from comm_.bcast(ctx, buf.whole(), root)
+            assert np.all(buf.data == it + 1)
+    comm.run(program)
+
+
+def test_latency_robust_to_mapping():
+    """XHC-tree's 1 MB broadcast moves little between layouts (< 40%)."""
+    from repro.bench.osu import run_collective
+    from repro.bench.components import COMPONENTS
+    lat = {
+        mapping: run_collective("bcast", "epyc-2p", 64,
+                                COMPONENTS["xhc-tree"], 1 << 20,
+                                warmup=1, iters=3, mapping=mapping)
+        for mapping in ("core", "numa")
+    }
+    assert max(lat.values()) / min(lat.values()) < 1.4

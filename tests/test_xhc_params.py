@@ -1,0 +1,49 @@
+"""The MCA-style parameter surface of XHC."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.params import ParamSet
+from repro.xhc import Xhc
+from repro.xhc.params import XHC_PARAMS, config_from_mca, config_from_params
+
+from conftest import assert_bcast_correct, run_bcast
+
+
+def test_defaults_match_config_defaults():
+    cfg = config_from_params(ParamSet(XHC_PARAMS))
+    assert cfg.hierarchy == "numa+socket"
+    assert cfg.cico_threshold == 1024
+    assert cfg.chunk_size == 16 * 1024
+    assert cfg.cico_ring == 4
+
+
+def test_overrides_flow_through():
+    cfg = config_from_mca(coll_xhc_hierarchy="flat",
+                          coll_xhc_cico_max=0,
+                          coll_xhc_chunk_size=4096)
+    assert cfg.hierarchy == "flat"
+    assert cfg.cico_threshold == 0
+    assert cfg.chunk_size == 4096
+
+
+def test_validation_at_the_param_layer():
+    with pytest.raises(ConfigError):
+        config_from_mca(coll_xhc_chunk_size=-5)
+    with pytest.raises(ConfigError):
+        config_from_mca(coll_xhc_flag_layout="diagonal")
+    with pytest.raises(ConfigError):
+        config_from_mca(coll_xhc_cico_ring=1)
+    with pytest.raises(ConfigError):
+        config_from_mca(coll_xhc_totally_unknown=1)
+
+
+def test_mca_configured_component_works():
+    cfg = config_from_mca(coll_xhc_cico_max=8192)
+    out, node = run_bcast(lambda: Xhc(cfg), nranks=8, size=4096)
+    assert_bcast_correct(out, 8, 101)
+    assert node.xpmem.attaches == 0  # 4096 <= the raised threshold
+
+
+def test_registry_names_are_mca_style():
+    assert all(name.startswith("coll_xhc_") for name in XHC_PARAMS.names())
