@@ -7,12 +7,15 @@ bug is more likely than a discovery. `tests/test_analysis.py` holds the
 agreement bands.
 """
 
-from .loggp import (LogGPParams, chain_bcast_estimate, flat_bcast_estimate,
+from .loggp import (LogGPParams, chain_bcast_estimate, cico_bcast_estimate,
+                    cico_flag_fanout_estimate, flat_bcast_estimate,
+                    hierarchical_allreduce_estimate,
                     hierarchical_bcast_estimate, loggp_of, p2p_estimate,
                     ring_allreduce_estimate)
 
 __all__ = [
     "LogGPParams", "loggp_of", "p2p_estimate", "flat_bcast_estimate",
     "chain_bcast_estimate", "hierarchical_bcast_estimate",
-    "ring_allreduce_estimate",
+    "hierarchical_allreduce_estimate", "cico_bcast_estimate",
+    "cico_flag_fanout_estimate", "ring_allreduce_estimate",
 ]

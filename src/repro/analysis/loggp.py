@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..memory.model import MachineModel
 from ..topology.distance import Distance, classify_distance
@@ -83,20 +84,110 @@ def chain_bcast_estimate(topo: Topology, model: MachineModel,
     return fill + (nseg - 1) * slowest
 
 
+def _per_level(chunk: "int | Sequence[int]", n_levels: int) -> list[int]:
+    """Expand a scalar-or-per-level chunk spec to one value per level."""
+    if isinstance(chunk, int):
+        return [chunk] * n_levels
+    sizes = list(chunk)
+    if not sizes:
+        raise ValueError("need at least one chunk size")
+    # Clamp like XhcConfig.chunk_for_level: reuse the last entry.
+    while len(sizes) < n_levels:
+        sizes.append(sizes[-1])
+    return sizes[:n_levels]
+
+
 def hierarchical_bcast_estimate(topo: Topology, model: MachineModel,
                                 level_dists: list[Distance], nbytes: int,
-                                chunk: int) -> float:
+                                chunk: "int | Sequence[int]") -> float:
     """Pipelined multi-level pull: the slowest level streams the whole
-    message; the others contribute one chunk of fill each."""
+    message; the others contribute one chunk of fill each.
+
+    ``chunk`` is either one pipeline chunk for all levels or one value per
+    level, innermost first (SSIII-B: each level can match its link).
+    """
     if not level_dists:
         return 0.0
     params = [loggp_of(model, d) for d in level_dists]
-    nchunk = max(1, math.ceil(nbytes / chunk))
-    ch = min(chunk, nbytes)
-    stream = max(p.L * nchunk + nbytes * p.G for p in params)
-    fill = sum(p.transfer(ch) for p in params) - max(
-        p.transfer(ch) for p in params)
+    chunks = _per_level(chunk, len(params))
+    stream = max(
+        p.L * max(1, math.ceil(nbytes / c)) + nbytes * p.G
+        for p, c in zip(params, chunks)
+    )
+    fills = [p.transfer(min(c, nbytes)) for p, c in zip(params, chunks)]
+    fill = sum(fills) - max(fills)
     return stream + fill
+
+
+def cico_flag_fanout_estimate(model: MachineModel, fanout: int,
+                              flag_layout: str = "single") -> float:
+    """Time for ``fanout`` members to observe a leader's progress flag.
+
+    Every fetch that misses is served out of the writer's caches and
+    queues at that core's port (``line_occupancy``); replicating the flag
+    per member ("multi-*") removes the invalidation storm of a re-written
+    shared line but adds one store per member for the writer.
+    """
+    if fanout <= 0:
+        return 0.0
+    serve = fanout * model.line_occupancy
+    if flag_layout == "single":
+        return model.store_cost + serve
+    # One store per replicated flag; "multi-shared" packs them on one
+    # line (amortized fetches), "multi-separate" pays one line each.
+    stores = fanout * model.store_cost
+    if flag_layout == "multi-shared":
+        serve = max(1, (fanout + 7) // 8) * model.line_occupancy \
+            * max(1, fanout // 2)
+    return stores + serve
+
+
+def cico_bcast_estimate(model: MachineModel, level_dists: list[Distance],
+                        level_fanouts: list[int], nbytes: int,
+                        flag_layout: str = "single") -> float:
+    """Small-message copy-in-copy-out fan-out: at each level the members
+    poll the leader's flag, then copy the payload out of its staging slot.
+    Dominated by flag propagation, not bandwidth (SSIII-D)."""
+    total = 0.0
+    for dist, fanout in zip(level_dists, level_fanouts):
+        p = loggp_of(model, dist)
+        total += cico_flag_fanout_estimate(model, fanout, flag_layout)
+        total += p.L + nbytes * p.G + model.copy_issue_cost
+    return total
+
+
+def hierarchical_allreduce_estimate(topo: Topology, model: MachineModel,
+                                    level_dists: list[Distance],
+                                    level_fanouts: list[int], nbytes: int,
+                                    chunk: "int | Sequence[int]",
+                                    reduce_min: int = 512) -> float:
+    """Hierarchical reduce + pipelined fan-out (SSIV-B).
+
+    Per level, a group's non-leader members partition the message and each
+    reduces its share from all ``fanout + 1`` contribution buffers; the
+    reduce phases of successive levels pipeline chunk-wise, so the total
+    charges the slowest level's full stream plus one chunk of fill at the
+    others — mirroring :func:`hierarchical_bcast_estimate` — followed by
+    the broadcast of the result.
+    """
+    if not level_dists:
+        return 0.0
+    chunks = _per_level(chunk, len(level_dists))
+    costs = []
+    for dist, fanout, c in zip(level_dists, level_fanouts, chunks):
+        p = loggp_of(model, dist)
+        workers = max(1, min(fanout, max(1, nbytes // max(1, reduce_min))))
+        share = nbytes / workers
+        nsrcs = fanout + 1
+        per_byte = max(nsrcs / model.reduce_bw, nsrcs * p.G)
+        nchunk = max(1, math.ceil(share / c))
+        costs.append((p.L * nchunk + share * per_byte,
+                      p.transfer(min(c, nbytes))))
+    stream = max(c[0] for c in costs)
+    fills = [c[1] for c in costs]
+    reduce_phase = stream + sum(fills) - max(fills)
+    return reduce_phase + hierarchical_bcast_estimate(
+        topo, model, level_dists, nbytes, chunk)
 
 
 def ring_allreduce_estimate(topo: Topology, model: MachineModel,

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Callable
 
 from ..errors import ConfigError
-from ..mpi.colls import SmColl, Smhc, Tuned, Ucc, Xbrc
+from ..mpi.colls import SmColl, Smhc, Tuned, TunedXhc, Ucc, Xbrc
 from ..xhc import Xhc
 
 COMPONENTS: dict[str, Callable[[], object]] = {
@@ -17,6 +17,9 @@ COMPONENTS: dict[str, Callable[[], object]] = {
     "xbrc": Xbrc,
     "xhc-flat": lambda: Xhc(hierarchy="flat"),
     "xhc-tree": lambda: Xhc(hierarchy="numa+socket"),
+    # Not in the paper's figure sets: uses the decision table produced by
+    # ``python -m repro tune`` (falls back to xhc-tree's config without one).
+    "xhc-tuned": TunedXhc,
 }
 
 # The component sets each figure compares (smhc has no tree variant on the

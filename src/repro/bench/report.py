@@ -1,7 +1,14 @@
-"""Plain-text rendering of benchmark results."""
+"""Plain-text and JSON rendering of benchmark results.
+
+Every text table has a machine-readable mirror: ``render_series_table`` ↔
+:func:`series_table_json` and ``render_rows`` ↔ :func:`rows_table_json`,
+so scripts can consume exactly what the terminal shows.
+"""
 
 from __future__ import annotations
 
+import json
+import os
 from typing import Sequence
 
 from .osu import OsuSeries
@@ -61,6 +68,49 @@ def _cell(value) -> str:
     if isinstance(value, float):
         return f"{value:.2f}"
     return str(value)
+
+
+def series_table_json(title: str, series: Sequence[OsuSeries],
+                      unit: str = "us") -> dict:
+    """JSON mirror of :func:`render_series_table`: same sizes/columns,
+    latencies in microseconds, missing cells as ``None``."""
+    sizes = list(dict.fromkeys(s for ser in series for s in ser.sizes))
+    return {
+        "title": title,
+        "unit": unit,
+        "columns": [ser.label for ser in series],
+        "rows": [
+            {
+                "size": size,
+                "values": [
+                    ser.latency[size] * 1e6 if size in ser.latency else None
+                    for ser in series
+                ],
+            }
+            for size in sizes
+        ],
+    }
+
+
+def rows_table_json(title: str, headers: Sequence[str],
+                    rows: Sequence[Sequence]) -> dict:
+    """JSON mirror of :func:`render_rows`: headers become keys."""
+    return {
+        "title": title,
+        "columns": list(headers),
+        "rows": [dict(zip(headers, row)) for row in rows],
+    }
+
+
+def write_json(path: str | os.PathLike, payload: dict) -> None:
+    """Write one JSON document, creating parent directories."""
+    path = os.fspath(path)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=False)
+        fh.write("\n")
 
 
 def render_series_chart(title: str, series: Sequence[OsuSeries],

@@ -7,6 +7,7 @@ Commands
 ``bench``    sweep a collective across components (Fig. 8/11 style)
 ``figure``   regenerate one of the paper's figures/tables by name
 ``app``      run an application skeleton under a chosen component
+``tune``     autotune XHC and persist a decision table (see docs/tuning.md)
 """
 
 from __future__ import annotations
@@ -17,7 +18,8 @@ import sys
 from . import bench as bench_mod
 from .bench.components import COMPONENTS, component_names
 from .bench.osu import DEFAULT_SIZES, osu_allreduce, osu_bcast
-from .bench.report import render_rows, render_series_table
+from .bench.report import (render_rows, render_series_table, rows_table_json,
+                           series_table_json, write_json)
 from .topology import get_system
 from .topology.io import load_topology
 
@@ -80,9 +82,12 @@ def cmd_bench(args) -> int:
                label=name, warmup=args.warmup, iters=args.iters)
         for name in names
     ]
-    print(render_series_table(
-        f"MPI_{args.collective.capitalize()} on {args.system} "
-        f"({nranks} ranks, us)", series))
+    title = (f"MPI_{args.collective.capitalize()} on {args.system} "
+             f"({nranks} ranks, us)")
+    print(render_series_table(title, series))
+    if args.json:
+        write_json(args.json, series_table_json(title, series))
+        print(f"\n[wrote JSON table to {args.json}]")
     return 0
 
 
@@ -98,7 +103,89 @@ def cmd_figure(args) -> int:
     if args.csv:
         result.write_csv(args.csv)
         print(f"\n[wrote {len(result.to_records())} records to {args.csv}]")
+    if args.json:
+        write_json(args.json, {"figure": args.name,
+                               "records": result.to_records()})
+        print(f"\n[wrote JSON records to {args.json}]")
     return 0
+
+
+def cmd_tune(args) -> int:
+    from .tune import COLLECTIVES, ResultCache, tune
+    from .tune.table import DecisionTable
+    import os
+
+    systems = args.systems.split(",") if args.systems else None
+    collectives = (args.collectives.split(",") if args.collectives
+                   else COLLECTIVES)
+    sizes = (tuple(int(s) for s in args.sizes.split(","))
+             if args.sizes else None)
+    cache = ResultCache(args.cache)
+    table = None
+    if args.resume and os.path.exists(args.out):
+        table = DecisionTable.load(args.out)
+        print(f"[resuming from {args.out}: {len(table)} decisions]")
+
+    kwargs = dict(collectives=collectives, sizes=sizes, quick=args.quick,
+                  nranks=args.nranks, budget=args.budget,
+                  workers=args.workers, cache=cache, table=table,
+                  resume=args.resume,
+                  progress=lambda msg: print(f"[{msg}]", flush=True))
+    if systems is not None:
+        kwargs["systems"] = systems
+    result = tune(**kwargs)
+
+    rows = []
+    for p in result.points:
+        if p.skipped:
+            rows.append([p.system, p.collective, p.size, p.nranks,
+                         "-", "-", "-", p.skipped])
+            continue
+        rows.append([
+            p.system, p.collective, p.size, p.nranks,
+            p.baseline_s * 1e6, p.best_s * 1e6,
+            f"{p.speedup:.2f}x" if p.speedup else "-",
+            _describe_config(p.best_config),
+        ])
+    title = "XHC tuning: paper default vs tuned (us)"
+    headers = ["system", "collective", "size", "nranks",
+               "default_us", "tuned_us", "speedup", "winner"]
+    print(render_rows(title, headers, rows))
+
+    result.table.save(args.out)
+    print(f"\n[decision table: {len(result.table)} entries -> {args.out}]")
+    print(f"[simulations: {result.simulations} new, "
+          f"{result.cache_hits} cached "
+          f"(hit rate {100 * result.cache_hit_rate:.0f}%)]")
+    if args.json:
+        write_json(args.json, {
+            "table": result.table.to_json(),
+            "points": [p.to_record() for p in result.points],
+            "simulations": result.simulations,
+            "cache_hits": result.cache_hits,
+            "cache_misses": result.cache_misses,
+        })
+        print(f"[wrote JSON report to {args.json}]")
+    return 0
+
+
+def _describe_config(cfg) -> str:
+    if cfg is None:
+        return "-"
+    from .tune import PAPER_DEFAULT
+    if cfg == PAPER_DEFAULT:
+        return "(default)"
+    parts = [cfg.hierarchy]
+    if cfg.chunk_size != PAPER_DEFAULT.chunk_size:
+        if isinstance(cfg.chunk_size, tuple):
+            parts.append("chunks=" + "/".join(str(c) for c in cfg.chunk_size))
+        else:
+            parts.append(f"chunk={cfg.chunk_size}")
+    if cfg.cico_threshold != PAPER_DEFAULT.cico_threshold:
+        parts.append(f"cico={cfg.cico_threshold}")
+    if cfg.flag_layout != PAPER_DEFAULT.flag_layout:
+        parts.append(cfg.flag_layout)
+    return " ".join(parts)
 
 
 def cmd_app(args) -> int:
@@ -148,13 +235,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sizes", help="comma-separated bytes")
     p.add_argument("--warmup", type=int, default=1)
     p.add_argument("--iters", type=int, default=3)
+    p.add_argument("--json", help="also write the table as JSON here")
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("figure", help="regenerate a paper figure/table")
     p.add_argument("name", help=f"one of: {', '.join(sorted(FIGURES))}")
     p.add_argument("--quick", action="store_true")
     p.add_argument("--csv", help="also write machine-readable records here")
+    p.add_argument("--json", help="also write the records as JSON here")
     p.set_defaults(fn=cmd_figure)
+
+    p = sub.add_parser(
+        "tune", help="autotune XHC configs into a decision table")
+    p.add_argument("--systems",
+                   help="comma-separated (default: all three modeled)")
+    p.add_argument("--collectives", help="comma-separated (default: "
+                                         "bcast,allreduce)")
+    p.add_argument("--sizes", help="comma-separated bytes "
+                                   "(default: the paper sweep)")
+    p.add_argument("--nranks", type=int,
+                   help="override rank count (default: all cores)")
+    p.add_argument("--quick", action="store_true",
+                   help="trimmed grids, fewer sizes, <=64 ranks")
+    p.add_argument("--budget", type=int,
+                   help="max NEW simulations across the run")
+    p.add_argument("--resume", action="store_true",
+                   help="skip (system,collective,bucket) cells already in "
+                        "the output table")
+    p.add_argument("--workers", type=int,
+                   help="simulation processes (0 = inline)")
+    p.add_argument("--out", default="results/tuned/decision_table.json")
+    p.add_argument("--cache", default="results/tuned/cache.json")
+    p.add_argument("--json", help="also write the full tuning report here")
+    p.set_defaults(fn=cmd_tune)
 
     p = sub.add_parser("app", help="run an application skeleton")
     p.add_argument("app", choices=["pisvm", "miniamr", "cntk"])

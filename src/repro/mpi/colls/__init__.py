@@ -8,6 +8,7 @@ sm        OpenMPI's shared-memory collectives (CICO + atomic fetch-add sync)
 ucc       The UCC library: static knomial/ring schedules, XPMEM single-copy
 smhc      Jain et al. [18]: shared-memory hierarchical collectives
 xbrc      Hashmi et al. [5]: XPMEM-based flat reduction collectives
+xhc-tuned XHC dispatched per message size from a tuned decision table
 ========= =====================================================================
 
 The paper's own contribution lives in :mod:`repro.xhc`.
@@ -19,5 +20,7 @@ from .sm import SmColl
 from .ucc import Ucc
 from .smhc import Smhc
 from .xbrc import Xbrc
+from .tunedxhc import TunedXhc
 
-__all__ = ["CollComponent", "Tuned", "SmColl", "Ucc", "Smhc", "Xbrc"]
+__all__ = ["CollComponent", "Tuned", "SmColl", "Ucc", "Smhc", "Xbrc",
+           "TunedXhc"]

@@ -1,0 +1,120 @@
+"""Parallel candidate evaluation through the simulator.
+
+Each candidate runs the same OSU-style measurement the benchmarks use
+(:func:`repro.bench.osu.run_collective`), so tuned numbers are directly
+comparable with every figure the repo regenerates. Simulations are pure
+CPU-bound Python, so parallelism uses processes; results flow through the
+:class:`~repro.tune.cache.ResultCache` so only never-seen candidates cost
+anything.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+
+from ..xhc import Xhc
+from ..xhc.config import XhcConfig
+from .cache import ResultCache
+from .space import config_from_dict, config_to_dict
+
+EVAL_ITERS = dict(warmup=1, iters=3)
+QUICK_ITERS = dict(warmup=1, iters=2)
+
+
+def measurement_payload(system: str, collective: str, size: int, nranks: int,
+                        cfg: XhcConfig, iters: dict) -> dict:
+    return {
+        "system": system,
+        "collective": collective,
+        "size": size,
+        "nranks": nranks,
+        "mapping": "core",
+        "config": config_to_dict(cfg),
+        **iters,
+    }
+
+
+def simulate_payload(payload: dict) -> float:
+    """Run one measurement (top-level so worker processes can pickle it)."""
+    from ..bench.osu import run_collective
+    cfg = config_from_dict(payload["config"])
+    return run_collective(
+        payload["collective"], payload["system"], payload["nranks"],
+        lambda: Xhc(config=cfg), payload["size"],
+        warmup=payload["warmup"], iters=payload["iters"],
+        mapping=payload["mapping"],
+    )
+
+
+class BudgetExhausted(RuntimeError):
+    """Raised internally when the simulation budget hits zero."""
+
+
+class Evaluator:
+    """Cached, optionally-parallel scoring of candidate configs.
+
+    ``workers=0`` evaluates inline (tests, deterministic debugging);
+    ``workers=None`` picks a process count from the CPU. ``budget`` caps
+    the number of *new* simulations across the evaluator's lifetime —
+    cached results are always free.
+    """
+
+    def __init__(self, cache: ResultCache | None = None,
+                 workers: int | None = None,
+                 budget: int | None = None) -> None:
+        self.cache = cache if cache is not None else ResultCache()
+        self.workers = workers
+        self.budget = budget
+        self.simulations = 0
+
+    @property
+    def budget_left(self) -> int | None:
+        if self.budget is None:
+            return None
+        return max(0, self.budget - self.simulations)
+
+    def _effective_workers(self, njobs: int) -> int:
+        if self.workers is not None:
+            return min(self.workers, njobs)
+        return min(njobs, max(1, min(8, (os.cpu_count() or 2) - 1)))
+
+    def evaluate(self, system: str, collective: str, size: int, nranks: int,
+                 configs: list[XhcConfig], *,
+                 iters: dict = EVAL_ITERS) -> dict[XhcConfig, float]:
+        """Latency per config; silently drops configs past the budget."""
+        results: dict[XhcConfig, float] = {}
+        todo: list[tuple[XhcConfig, dict]] = []
+        for cfg in configs:
+            payload = measurement_payload(system, collective, size, nranks,
+                                          cfg, iters)
+            cached = self.cache.get(payload)
+            if cached is not None:
+                results[cfg] = cached
+            else:
+                todo.append((cfg, payload))
+        if self.budget is not None:
+            todo = todo[:self.budget_left]
+        if not todo:
+            return results
+        nworkers = self._effective_workers(len(todo))
+        if nworkers <= 1:
+            for cfg, payload in todo:
+                latency = simulate_payload(payload)
+                self._record(cfg, payload, latency, results)
+        else:
+            with concurrent.futures.ProcessPoolExecutor(nworkers) as pool:
+                futures = {
+                    pool.submit(simulate_payload, payload): (cfg, payload)
+                    for cfg, payload in todo
+                }
+                for future in concurrent.futures.as_completed(futures):
+                    cfg, payload = futures[future]
+                    self._record(cfg, payload, future.result(), results)
+        return results
+
+    def _record(self, cfg: XhcConfig, payload: dict, latency: float,
+                results: dict[XhcConfig, float]) -> None:
+        self.simulations += 1
+        self.cache.put(payload, latency)
+        results[cfg] = latency

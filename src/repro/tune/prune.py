@@ -1,0 +1,95 @@
+"""Analytical pruning of candidate configs before simulation.
+
+The LogGP closed forms of :mod:`repro.analysis.loggp` run in microseconds
+per candidate where the simulator takes seconds, so the tuner scores the
+whole space analytically and only simulates the survivors. The estimates
+deliberately ignore second-order effects (cache reuse, port queueing,
+pipeline fill skew), so pruning keeps a generous margin around the
+analytic best rather than trusting its argmin — see ``docs/tuning.md`` for
+how this can still mislead.
+"""
+
+from __future__ import annotations
+
+from ..analysis.loggp import (cico_bcast_estimate,
+                              hierarchical_allreduce_estimate,
+                              hierarchical_bcast_estimate)
+from ..memory.model import MachineModel
+from ..topology.distance import Distance, classify_distance
+from ..topology.objects import Topology
+from ..xhc.config import XhcConfig
+from ..xhc.hierarchy import Hierarchy, build_hierarchy
+
+DEFAULT_MARGIN = 2.5
+DEFAULT_KEEP = 10
+
+
+def _level_shape(topo: Topology, hier: Hierarchy
+                 ) -> tuple[list[Distance], list[int]]:
+    """Per-level (worst member-to-leader distance, widest fan-out)."""
+    dists: list[Distance] = []
+    fanouts: list[int] = []
+    for level in hier.levels:
+        worst = Distance.SELF
+        fan = 0
+        for group in level:
+            fan = max(fan, len(group.nonleaders))
+            for member in group.nonleaders:
+                worst = max(worst, classify_distance(
+                    topo, group.leader, member))
+        dists.append(worst)
+        fanouts.append(fan)
+    return dists, fanouts
+
+
+def estimate_cost(topo: Topology, model: MachineModel, cfg: XhcConfig,
+                  collective: str, size: int, nranks: int) -> float:
+    """Closed-form latency estimate of one config at one point (seconds)."""
+    cores = list(range(min(nranks, topo.n_cores)))
+    hier = build_hierarchy(topo, cores, cfg.tokens(), 0)
+    dists, fanouts = _level_shape(topo, hier)
+    chunks = [cfg.chunk_for_level(l) for l in range(hier.n_levels)]
+    small = size <= cfg.cico_threshold
+    if collective == "bcast":
+        if small:
+            return cico_bcast_estimate(model, dists, fanouts, size,
+                                       cfg.flag_layout)
+        return hierarchical_bcast_estimate(topo, model, dists, size, chunks)
+    if collective == "allreduce":
+        est = hierarchical_allreduce_estimate(
+            topo, model, dists, fanouts, size, chunks,
+            reduce_min=cfg.reduce_min)
+        if small:
+            # The CICO path replaces per-op buffer publication with
+            # staging copies; flag propagation still paces it.
+            est += cico_bcast_estimate(model, dists, fanouts, size,
+                                       cfg.flag_layout)
+        return est
+    raise ValueError(f"no analytic form for collective {collective!r}")
+
+
+def prune(candidates: list[XhcConfig], topo: Topology, model: MachineModel,
+          collective: str, size: int, nranks: int, *,
+          margin: float = DEFAULT_MARGIN, keep: int | None = DEFAULT_KEEP,
+          always_keep: tuple[XhcConfig, ...] = ()) -> list[XhcConfig]:
+    """Discard candidates the closed forms call dominated.
+
+    Keeps every candidate scoring within ``margin`` of the analytic best,
+    capped at the ``keep`` best scores; ``always_keep`` configs (the paper
+    default, a warm-start from an earlier table) survive unconditionally.
+    """
+    scored = sorted(
+        ((estimate_cost(topo, model, cfg, collective, size, nranks), i, cfg)
+         for i, cfg in enumerate(candidates)),
+        key=lambda t: (t[0], t[1]),
+    )
+    if not scored:
+        return []
+    best = scored[0][0]
+    survivors = [cfg for score, _i, cfg in scored if score <= best * margin]
+    if keep is not None:
+        survivors = survivors[:keep]
+    for cfg in always_keep:
+        if cfg in candidates and cfg not in survivors:
+            survivors.append(cfg)
+    return survivors

@@ -1,0 +1,146 @@
+"""Search-space generation over :class:`repro.xhc.config.XhcConfig`.
+
+The space is *derived from the topology*, not hard-coded: hierarchy
+candidates are every inner-to-outer ordering of the sensitivity tokens the
+machine actually has (plus ``"flat"``), per-level chunk tuples match the
+depth each hierarchy builds on that machine, and the CICO/flag dimensions
+are only opened where they can matter for the message size being tuned
+(SSIII-D: the CICO path's benefit is confined to small messages; chunking
+only matters once a message spans multiple chunks).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..topology.objects import ObjKind, Topology
+from ..xhc.config import FLAG_LAYOUTS, XhcConfig
+from ..xhc.hierarchy import build_hierarchy
+
+# Candidate grids (bytes). Kept intentionally coarse: the pruner and the
+# simulator refine, the grid only has to bracket the interesting regimes.
+CHUNK_GRID = (4096, 16384, 65536, 262144)
+QUICK_CHUNK_GRID = (16384, 65536)
+CICO_GRID = (0, 256, 1024, 4096)
+QUICK_CICO_GRID = (0, 1024)
+
+# Messages at or below this are "small": flag layout and CICO threshold
+# dominate, pipeline chunking cannot matter.
+SMALL_CUTOFF = 4096
+
+PAPER_DEFAULT = XhcConfig()
+
+
+def hierarchy_candidates(topo: Topology, *, quick: bool = False) -> list[str]:
+    """Every valid ``"+"``-separated token ordering for this machine.
+
+    Tokens are only offered when the corresponding object level exists and
+    actually partitions the cores (a single-socket machine still accepts
+    ``socket`` — it degenerates harmlessly — but offering it would only
+    duplicate the shallower hierarchy, so it is skipped). Orderings are
+    inner-to-outer by construction; anything else ("socket+numa") nests
+    invalid groups and is never generated.
+    """
+    available: list[str] = []        # innermost first
+    if topo.count(ObjKind.LLC) > 1:
+        available.append("l3")
+    if topo.count(ObjKind.NUMA) > 1:
+        available.append("numa")
+    if topo.count(ObjKind.SOCKET) > 1:
+        available.append("socket")
+    out = ["flat"]
+    for r in range(1, len(available) + 1):
+        for combo in itertools.combinations(available, r):
+            out.append("+".join(combo))
+    if quick:
+        keep = {"flat", "numa", "numa+socket", "l3+numa"}
+        out = [h for h in out if h in keep]
+    return out
+
+
+def hierarchy_depth(topo: Topology, hierarchy: str, nranks: int) -> int:
+    """Levels the hierarchy builds for ``nranks`` ranks mapped by core."""
+    cfg = XhcConfig(hierarchy=hierarchy)
+    cores = list(range(min(nranks, topo.n_cores)))
+    return build_hierarchy(topo, cores, cfg.tokens(), 0).n_levels
+
+
+def chunk_candidates(depth: int, size: int,
+                     *, quick: bool = False) -> list[int | tuple[int, ...]]:
+    """Chunk specs worth trying for a ``depth``-level hierarchy at one
+    message size: uniform scalars, plus (full mode) every per-level tuple
+    from the grid. Chunks larger than the message collapse to the same
+    unpipelined schedule, so at most one oversized value is kept."""
+    grid = QUICK_CHUNK_GRID if quick else CHUNK_GRID
+    values = [c for c in grid if c < size]
+    oversized = [c for c in grid if c >= size]
+    if oversized:
+        values.append(oversized[0])
+    out: list[int | tuple[int, ...]] = list(values)
+    if depth > 1 and not quick and len(values) > 1:
+        out.extend(
+            combo for combo in itertools.product(values, repeat=depth)
+            if len(set(combo)) > 1      # uniform tuples == scalar entries
+        )
+    return out
+
+
+def generate_space(topo: Topology, nranks: int, collective: str, size: int,
+                   *, quick: bool = False) -> list[XhcConfig]:
+    """All candidate configs for one (machine, collective, size) point.
+
+    The paper's hand-tuned default is always included, so downstream
+    "best of space" can never regress against it.
+    """
+    small = size <= SMALL_CUTOFF
+    cico_grid = QUICK_CICO_GRID if quick else CICO_GRID
+    layouts = ("single",) if (quick or not small) else FLAG_LAYOUTS
+    thresholds = (
+        sorted({t for t in cico_grid} | {PAPER_DEFAULT.cico_threshold})
+        if small else (PAPER_DEFAULT.cico_threshold,)
+    )
+    configs: list[XhcConfig] = [PAPER_DEFAULT]
+    for hierarchy in hierarchy_candidates(topo, quick=quick):
+        depth = hierarchy_depth(topo, hierarchy, nranks)
+        chunks: list[int | tuple[int, ...]]
+        if small:
+            chunks = [PAPER_DEFAULT.chunk_size]
+        else:
+            chunks = chunk_candidates(depth, size, quick=quick)
+        for chunk in chunks:
+            for threshold in thresholds:
+                for layout in layouts:
+                    cfg = XhcConfig(hierarchy=hierarchy, chunk_size=chunk,
+                                    cico_threshold=threshold,
+                                    flag_layout=layout)
+                    if cfg not in configs:
+                        configs.append(cfg)
+    return configs
+
+
+# -- serialization ---------------------------------------------------------
+
+
+def config_to_dict(cfg: XhcConfig) -> dict:
+    """JSON-safe dict form (tuples become lists)."""
+    chunk = cfg.chunk_size
+    return {
+        "hierarchy": cfg.hierarchy,
+        "chunk_size": list(chunk) if isinstance(chunk, tuple) else chunk,
+        "cico_threshold": cfg.cico_threshold,
+        "flag_layout": cfg.flag_layout,
+        "reduce_min": cfg.reduce_min,
+        "cico_ring": cfg.cico_ring,
+    }
+
+
+def config_from_dict(d: dict) -> XhcConfig:
+    chunk = d["chunk_size"]
+    return XhcConfig(
+        hierarchy=d["hierarchy"],
+        chunk_size=tuple(chunk) if isinstance(chunk, list) else chunk,
+        cico_threshold=d["cico_threshold"],
+        flag_layout=d["flag_layout"],
+        reduce_min=d.get("reduce_min", PAPER_DEFAULT.reduce_min),
+        cico_ring=d.get("cico_ring", PAPER_DEFAULT.cico_ring),
+    )

@@ -1,0 +1,134 @@
+"""Persistent decision tables: (system, collective, size-bucket) → config.
+
+The table is the tuner's product and the :class:`TunedXhc` component's
+input — the same JSON artifact, so tuning on one machine and deploying on
+another is a file copy. Sizes map to power-of-two buckets; lookups fall
+back to the nearest tuned bucket of the same (system, collective), which
+matches how the real decision files interpolate between swept sizes.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+
+from ..xhc.config import XhcConfig
+from .space import config_from_dict, config_to_dict
+
+TABLE_VERSION = 1
+
+
+def bucket_of(size: int) -> int:
+    """The power-of-two bucket a message size falls into (lower edge
+    exclusive, upper inclusive: 1025..2048 → 2048)."""
+    if size <= 1:
+        return 1
+    return 1 << math.ceil(math.log2(size))
+
+
+class DecisionTable:
+    """An updatable mapping of tuned decisions with JSON persistence."""
+
+    def __init__(self) -> None:
+        # (system, collective, bucket) -> entry dict
+        self.entries: dict[tuple[str, str, int], dict] = {}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, key: tuple[str, str, int]) -> bool:
+        system, collective, bucket = key
+        return (system.lower(), collective, bucket) in self.entries
+
+    def record(self, system: str, collective: str, size: int,
+               config: XhcConfig, latency_s: float,
+               baseline_s: float | None = None,
+               nranks: int | None = None) -> None:
+        key = (system.lower(), collective, bucket_of(size))
+        self.entries[key] = {
+            "config": config_to_dict(config),
+            "latency_us": latency_s * 1e6,
+            "baseline_us": None if baseline_s is None else baseline_s * 1e6,
+            "nranks": nranks,
+        }
+
+    def lookup(self, system: str, collective: str,
+               size: int) -> XhcConfig | None:
+        """Best config for a message size; nearest tuned bucket wins."""
+        system = system.lower()
+        bucket = bucket_of(size)
+        entry = self.entries.get((system, collective, bucket))
+        if entry is None:
+            tuned = [b for (s, c, b) in self.entries
+                     if s == system and c == collective]
+            if not tuned:
+                return None
+            nearest = min(tuned, key=lambda b: (abs(math.log2(b)
+                                                    - math.log2(bucket)), b))
+            entry = self.entries[(system, collective, nearest)]
+        return config_from_dict(entry["config"])
+
+    def systems(self) -> list[str]:
+        return sorted({s for (s, _c, _b) in self.entries})
+
+    # -- persistence -------------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "version": TABLE_VERSION,
+            "generated_by": "python -m repro tune",
+            "entries": [
+                {"system": s, "collective": c, "bucket": b, **entry}
+                for (s, c, b), entry in sorted(self.entries.items())
+            ],
+        }
+
+    def save(self, path: str | os.PathLike) -> None:
+        path = os.fspath(path)
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, "w") as fh:
+            json.dump(self.to_json(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "DecisionTable":
+        table = cls()
+        for entry in payload.get("entries", []):
+            key = (entry["system"].lower(), entry["collective"],
+                   int(entry["bucket"]))
+            table.entries[key] = {
+                "config": entry["config"],
+                "latency_us": entry.get("latency_us"),
+                "baseline_us": entry.get("baseline_us"),
+                "nranks": entry.get("nranks"),
+            }
+        return table
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "DecisionTable":
+        with open(path) as fh:
+            return cls.from_json(json.load(fh))
+
+    def merge(self, other: "DecisionTable") -> None:
+        """Adopt ``other``'s decisions, overwriting shared keys."""
+        self.entries.update(other.entries)
+
+
+def default_table_path() -> str | None:
+    """Locate a committed decision table: ``$REPRO_TUNED_TABLE``, then
+    ``results/tuned/decision_table.json`` under the CWD, then under the
+    repo the package was imported from."""
+    env = os.environ.get("REPRO_TUNED_TABLE")
+    if env:
+        return env if os.path.exists(env) else None
+    rel = os.path.join("results", "tuned", "decision_table.json")
+    for base in (os.getcwd(),
+                 os.path.dirname(os.path.dirname(os.path.dirname(
+                     os.path.dirname(os.path.abspath(__file__)))))):
+        candidate = os.path.join(base, rel)
+        if os.path.exists(candidate):
+            return candidate
+    return None

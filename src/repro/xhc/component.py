@@ -53,6 +53,11 @@ class Xhc(CollComponent):
         self._hier_cache: dict[int, Hierarchy] = {}
         h0 = self._hierarchy(comm, 0)
         self.n_levels = h0.n_levels
+        cfg.validate_depth(self.n_levels)
+        # Ledgers are per component instance, not per communicator:
+        # several Xhc instances may serve one communicator (the TunedXhc
+        # dispatcher), and their flag counters must not mix.
+        self._rank_state: list[dict] = [dict() for _ in comm.ranks]
         # CICO segments: contribution + result/staging regions in a
         # K-deep ring (K = cfg.cico_ring) indexed by operation number, so
         # acknowledgment collection defers to a slot's next reuse K-1 ops
@@ -116,7 +121,7 @@ class Xhc(CollComponent):
         return h
 
     def _ledger(self, comm, me: int) -> dict:
-        st = comm.rank_state[me]
+        st = self._rank_state[me]
         if not st:
             n = comm.size
             st["avail"] = [0] * n

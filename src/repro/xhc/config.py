@@ -48,7 +48,7 @@ class XhcConfig:
     cico_ring: int = 4
 
     def __post_init__(self) -> None:
-        self.tokens()  # validates
+        ntokens = len(self.tokens())  # validates
         if self.flag_layout not in FLAG_LAYOUTS:
             raise ConfigError(
                 f"flag_layout {self.flag_layout!r} not in {FLAG_LAYOUTS}"
@@ -57,6 +57,18 @@ class XhcConfig:
             else self.chunk_size
         if not sizes or any(s <= 0 for s in sizes):
             raise ConfigError("chunk sizes must be positive")
+        if isinstance(self.chunk_size, tuple):
+            # A hierarchy of t tokens yields at most t+1 levels on any
+            # topology (the extra one joins the surviving leaders); a
+            # flat hierarchy always has exactly one. Topology-dependent
+            # exact matching happens in :meth:`validate_depth`.
+            max_depth = (ntokens + 1) if ntokens else 1
+            if len(sizes) > max_depth:
+                raise ConfigError(
+                    f"chunk_size has {len(sizes)} per-level entries but "
+                    f"hierarchy {self.hierarchy!r} can build at most "
+                    f"{max_depth} level(s)"
+                )
         if self.cico_threshold < 0:
             raise ConfigError("cico_threshold must be >= 0")
         if self.reduce_min < 1:
@@ -78,6 +90,24 @@ class XhcConfig:
                 )
             kinds.append(SENSITIVITY_TOKENS[token])
         return kinds
+
+    def validate_depth(self, n_levels: int) -> None:
+        """Check a per-level ``chunk_size`` tuple against the depth of the
+        hierarchy actually built on a topology.
+
+        The number of levels depends on the machine (degenerate levels are
+        dropped, a top level may be added), so this runs where the
+        hierarchy is known — component setup — rather than in
+        ``__post_init__``. Scalar chunk sizes apply to every depth.
+        """
+        if isinstance(self.chunk_size, tuple) \
+                and len(self.chunk_size) != n_levels:
+            raise ConfigError(
+                f"chunk_size has {len(self.chunk_size)} per-level entries "
+                f"but hierarchy {self.hierarchy!r} builds {n_levels} "
+                f"level(s) on this topology; pass one value per level "
+                f"(innermost first) or a single int"
+            )
 
     def chunk_for_level(self, level: int) -> int:
         if isinstance(self.chunk_size, int):

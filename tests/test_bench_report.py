@@ -71,3 +71,33 @@ def test_size_formatting():
     assert _fmt_size(2048) == "2K"
     assert _fmt_size(4 << 20) == "4M"
     assert _fmt_size(1500) == "1500"
+
+
+def test_series_table_json_mirrors_text():
+    from repro.bench.report import series_table_json
+    a = OsuSeries("alpha")
+    a.add(4, 1e-6)
+    a.add(1 << 20, 250e-6)
+    b = OsuSeries("beta")
+    b.add(4, 2e-6)
+    doc = series_table_json("My Title", [a, b])
+    assert doc["title"] == "My Title"
+    assert doc["columns"] == ["alpha", "beta"]
+    assert doc["rows"][0] == {"size": 4, "values": [1.0, 2.0]}
+    # Missing cell is None where the text table shows '-'.
+    assert doc["rows"][1] == {"size": 1 << 20, "values": [250.0, None]}
+
+
+def test_rows_table_json_mirrors_text():
+    from repro.bench.report import rows_table_json
+    doc = rows_table_json("T", ["name", "us"], [["x", 1.5], ["y", 2.5]])
+    assert doc["columns"] == ["name", "us"]
+    assert doc["rows"] == [{"name": "x", "us": 1.5}, {"name": "y", "us": 2.5}]
+
+
+def test_write_json_creates_directories(tmp_path):
+    import json
+    from repro.bench.report import write_json
+    path = tmp_path / "nested" / "out.json"
+    write_json(path, {"k": [1, 2]})
+    assert json.loads(path.read_text()) == {"k": [1, 2]}

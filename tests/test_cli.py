@@ -79,3 +79,61 @@ def test_app_command(capsys):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_bench_json_export(tmp_path, capsys):
+    out_path = tmp_path / "bench.json"
+    code, out = run_cli(capsys, "bench", "bcast", "--system", "epyc-1p",
+                        "--nranks", "8", "--components", "xhc-tree",
+                        "--sizes", "64", "--iters", "1",
+                        "--json", str(out_path))
+    assert code == 0
+    doc = json.loads(out_path.read_text())
+    assert doc["columns"] == ["xhc-tree"]
+    assert doc["rows"][0]["size"] == 64
+
+
+def test_figure_json_export(tmp_path, capsys):
+    out_path = tmp_path / "fig.json"
+    code, out = run_cli(capsys, "figure", "table1", "--json", str(out_path))
+    assert code == 0
+    doc = json.loads(out_path.read_text())
+    assert doc["figure"] == "table1"
+    assert doc["records"]
+
+
+def test_tune_command(tmp_path, capsys):
+    table_path = tmp_path / "table.json"
+    cache_path = tmp_path / "cache.json"
+    report_path = tmp_path / "report.json"
+    argv = ["tune", "--quick", "--systems", "epyc-1p",
+            "--collectives", "bcast", "--sizes", "1024", "--nranks", "8",
+            "--workers", "0", "--out", str(table_path),
+            "--cache", str(cache_path), "--json", str(report_path)]
+    code, out = run_cli(capsys, *argv)
+    assert code == 0
+    assert "default_us" in out and "tuned_us" in out
+    assert "hit rate 0%" in out
+    doc = json.loads(table_path.read_text())
+    assert doc["entries"]
+    report = json.loads(report_path.read_text())
+    assert report["simulations"] > 0
+
+    # Warm re-run: the committed cache answers everything.
+    code, out = run_cli(capsys, *argv)
+    assert code == 0
+    assert "simulations: 0 new" in out
+    assert "hit rate 100%" in out
+
+
+def test_tune_resume_skips(tmp_path, capsys):
+    table_path = tmp_path / "table.json"
+    argv = ["tune", "--quick", "--systems", "epyc-1p",
+            "--collectives", "bcast", "--sizes", "1024", "--nranks", "8",
+            "--workers", "0", "--out", str(table_path),
+            "--cache", str(tmp_path / "cache.json")]
+    assert run_cli(capsys, *argv)[0] == 0
+    code, out = run_cli(capsys, *argv, "--resume")
+    assert code == 0
+    assert "resume" in out
+    assert "simulations: 0 new" in out

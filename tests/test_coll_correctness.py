@@ -10,11 +10,25 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.mpi import DOUBLE, MAX, SUM
-from repro.mpi.colls import SmColl, Smhc, Tuned, Ucc, Xbrc
-from repro.xhc import Xhc
+from repro.mpi.colls import SmColl, Smhc, Tuned, TunedXhc, Ucc, Xbrc
+from repro.tune.table import DecisionTable
+from repro.xhc import Xhc, XhcConfig
 
 from conftest import (assert_allreduce_correct, assert_bcast_correct,
                       run_allreduce, run_bcast, small_topo)
+
+
+def _tuned_xhc():
+    """TunedXhc over an inline mini-system table spanning the size
+    classes, so small and large messages exercise different delegates."""
+    table = DecisionTable()
+    table.record("mini", "bcast", 1024, XhcConfig(hierarchy="flat"), 1e-6)
+    table.record("mini", "bcast", 100_000,
+                 XhcConfig(hierarchy="l3+numa", chunk_size=16384), 1e-6)
+    table.record("mini", "allreduce", 100_000,
+                 XhcConfig(hierarchy="numa", chunk_size=16384), 1e-6)
+    return TunedXhc(table=table)
+
 
 BCAST_COMPONENTS = {
     "tuned": Tuned,
@@ -24,6 +38,7 @@ BCAST_COMPONENTS = {
     "smhc-tree": lambda: Smhc(tree=True),
     "xhc-flat": lambda: Xhc(hierarchy="flat"),
     "xhc-tree": Xhc,
+    "xhc-tuned": _tuned_xhc,
 }
 
 ALLREDUCE_COMPONENTS = dict(BCAST_COMPONENTS, xbrc=Xbrc)

@@ -29,7 +29,9 @@ def test_xhc_cico_entry_skips_via_ack_seen():
                 buf.fill(it)
             yield from comm_.bcast(ctx, buf.whole(), 0)
     comm.run(program)
-    led = comm.rank_state[0]
+    # Xhc ledgers are per component instance (so TunedXhc can bind
+    # several delegates to one communicator), not in comm.rank_state.
+    led = comp._rank_state[0]
     assert any(v > 0 for v in led["ack_seen"]), \
         "the root should have recorded observed ack values"
 

@@ -1,0 +1,77 @@
+"""Decision tables: bucketing, lookup fallback, JSON round-trip."""
+
+from repro.tune.table import DecisionTable, bucket_of, default_table_path
+from repro.xhc import XhcConfig
+
+
+def test_bucket_of():
+    assert bucket_of(1) == 1
+    assert bucket_of(1024) == 1024
+    assert bucket_of(1025) == 2048
+    assert bucket_of(100_000) == 131072
+
+
+def test_record_and_exact_lookup():
+    table = DecisionTable()
+    cfg = XhcConfig(hierarchy="numa", chunk_size=16384)
+    table.record("Epyc-2P", "bcast", 65536, cfg, 1.2e-5, baseline_s=1.5e-5,
+                 nranks=64)
+    # Case-insensitive on system; any size in the bucket resolves.
+    assert table.lookup("epyc-2p", "bcast", 65536) == cfg
+    assert table.lookup("EPYC-2P", "bcast", 40_000) == cfg
+    assert ("epyc-2p", "bcast", 65536) in table
+
+
+def test_nearest_bucket_fallback():
+    table = DecisionTable()
+    small = XhcConfig(hierarchy="flat")
+    large = XhcConfig(hierarchy="numa+socket", chunk_size=16384)
+    table.record("sys", "bcast", 1024, small, 1e-6)
+    table.record("sys", "bcast", 1048576, large, 1e-4)
+    assert table.lookup("sys", "bcast", 2048) == small
+    assert table.lookup("sys", "bcast", 262144) == large
+    # Other collectives/systems never borrow entries.
+    assert table.lookup("sys", "allreduce", 1024) is None
+    assert table.lookup("other", "bcast", 1024) is None
+
+
+def test_json_round_trip(tmp_path):
+    table = DecisionTable()
+    table.record("epyc-1p", "bcast", 1024,
+                 XhcConfig(hierarchy="l3+numa", chunk_size=(4096, 16384, 65536)),
+                 2e-6, baseline_s=3e-6, nranks=32)
+    table.record("arm-n1", "allreduce", 1048576,
+                 XhcConfig(hierarchy="numa+socket", cico_threshold=0),
+                 5e-5, nranks=160)
+    path = tmp_path / "table.json"
+    table.save(path)
+
+    loaded = DecisionTable.load(path)
+    assert len(loaded) == len(table) == 2
+    for (s, c, b), entry in table.entries.items():
+        assert loaded.entries[(s, c, b)]["config"] == entry["config"]
+        assert loaded.lookup(s, c, b) == table.lookup(s, c, b)
+    # Tuple chunk sizes survive the list round-trip as tuples.
+    cfg = loaded.lookup("epyc-1p", "bcast", 1024)
+    assert cfg.chunk_size == (4096, 16384, 65536)
+
+
+def test_merge_overwrites_shared_keys():
+    a, b = DecisionTable(), DecisionTable()
+    a.record("sys", "bcast", 1024, XhcConfig(hierarchy="flat"), 2e-6)
+    b.record("sys", "bcast", 1024, XhcConfig(hierarchy="numa"), 1e-6)
+    b.record("sys", "bcast", 4096, XhcConfig(hierarchy="numa"), 1e-6)
+    a.merge(b)
+    assert len(a) == 2
+    assert a.lookup("sys", "bcast", 1024).hierarchy == "numa"
+
+
+def test_default_table_path_env(tmp_path, monkeypatch):
+    table = DecisionTable()
+    table.record("sys", "bcast", 64, XhcConfig(), 1e-6)
+    path = tmp_path / "t.json"
+    table.save(path)
+    monkeypatch.setenv("REPRO_TUNED_TABLE", str(path))
+    assert default_table_path() == str(path)
+    monkeypatch.setenv("REPRO_TUNED_TABLE", str(tmp_path / "missing.json"))
+    assert default_table_path() is None

@@ -37,9 +37,22 @@ def test_pipelining_with_tiny_chunks():
 
 
 def test_per_level_chunk_sizes():
-    out, _ = run_bcast(lambda: Xhc(chunk_size=(1024, 4096)), nranks=16,
-                       size=20_000, iters=2)
+    # 16 ranks on the mini topology build 3 levels (numa, socket, top).
+    out, _ = run_bcast(lambda: Xhc(chunk_size=(1024, 4096, 16384)),
+                       nranks=16, size=20_000, iters=2)
     assert_bcast_correct(out, 16, 101)
+
+
+def test_chunk_tuple_depth_mismatch_rejected():
+    """Regression: a per-level tuple that does not match the built
+    hierarchy's depth must fail loudly at setup, not misbehave inside
+    the collective."""
+    from repro.errors import ConfigError
+
+    node = Node(small_topo())
+    world = World(node, 16)
+    with pytest.raises(ConfigError, match="per-level"):
+        world.communicator(Xhc(chunk_size=(1024, 4096)))
 
 
 def test_flag_layout_variants_correct():

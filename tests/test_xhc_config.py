@@ -51,6 +51,23 @@ def test_invalid_values_rejected():
         XhcConfig(cico_ring=1)
 
 
+def test_chunk_tuple_longer_than_possible_depth_rejected():
+    # 'numa+socket' can build at most 3 levels on any topology; 'flat'
+    # exactly one. Over-long tuples can never match and fail eagerly.
+    with pytest.raises(ConfigError, match="at most"):
+        XhcConfig(chunk_size=(1, 2, 3, 4))
+    with pytest.raises(ConfigError, match="at most"):
+        XhcConfig(hierarchy="flat", chunk_size=(4096, 8192))
+
+
+def test_validate_depth():
+    cfg = XhcConfig(chunk_size=(8192, 16384, 65536))
+    cfg.validate_depth(3)  # exact match passes
+    with pytest.raises(ConfigError, match="3 per-level"):
+        cfg.validate_depth(2)
+    XhcConfig(chunk_size=4096).validate_depth(7)  # scalar fits any depth
+
+
 def test_frozen():
     cfg = XhcConfig()
     with pytest.raises(Exception):
