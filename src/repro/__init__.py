@@ -18,6 +18,7 @@ from .node import Node
 from .topology import get_system, build_symmetric
 from .mpi import World
 from .xhc import Xhc, XhcConfig
+from . import obs
 
 __version__ = "1.0.0"
 
@@ -28,5 +29,6 @@ __all__ = [
     "XhcConfig",
     "get_system",
     "build_symmetric",
+    "obs",
     "__version__",
 ]

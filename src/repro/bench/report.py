@@ -102,6 +102,36 @@ def rows_table_json(title: str, headers: Sequence[str],
     }
 
 
+def bench_trajectory_json(tag: str, title: str,
+                          series: Sequence[OsuSeries], *,
+                          system: str, collective: str, nranks: int,
+                          warmup: int, iters: int) -> dict:
+    """The ``BENCH_<n>.json`` perf-trajectory payload: one record per PR,
+    with enough run parameters that a later session can re-run the exact
+    sweep and regress against these numbers."""
+    return {
+        "bench_schema": 1,
+        "tag": tag,
+        "title": title,
+        "system": system,
+        "collective": collective,
+        "nranks": nranks,
+        "warmup": warmup,
+        "iters": iters,
+        "unit": "us",
+        "series": [
+            {
+                "label": ser.label,
+                "points": [
+                    {"size": size, "latency_us": ser.latency[size] * 1e6}
+                    for size in ser.sizes if size in ser.latency
+                ],
+            }
+            for ser in series
+        ],
+    }
+
+
 def write_json(path: str | os.PathLike, payload: dict) -> None:
     """Write one JSON document, creating parent directories."""
     path = os.fspath(path)

@@ -8,6 +8,8 @@ Commands
 ``figure``   regenerate one of the paper's figures/tables by name
 ``app``      run an application skeleton under a chosen component
 ``tune``     autotune XHC and persist a decision table (see docs/tuning.md)
+``trace``    run one collective observed; critical path + Perfetto JSON
+             (see docs/observability.md)
 """
 
 from __future__ import annotations
@@ -18,7 +20,8 @@ import sys
 from . import bench as bench_mod
 from .bench.components import COMPONENTS, component_names
 from .bench.osu import DEFAULT_SIZES, osu_allreduce, osu_bcast
-from .bench.report import (render_rows, render_series_table, rows_table_json,
+from .bench.report import (bench_trajectory_json, render_rows,
+                           render_series_table, rows_table_json,
                            series_table_json, write_json)
 from .topology import get_system
 from .topology.io import load_topology
@@ -88,6 +91,40 @@ def cmd_bench(args) -> int:
     if args.json:
         write_json(args.json, series_table_json(title, series))
         print(f"\n[wrote JSON table to {args.json}]")
+    if args.emit_bench:
+        import os
+        tag = os.path.splitext(os.path.basename(args.emit_bench))[0]
+        payload = bench_trajectory_json(
+            tag, title, series, system=args.system,
+            collective=args.collective, nranks=nranks,
+            warmup=args.warmup, iters=args.iters)
+        write_json(args.emit_bench, payload)
+        print(f"\n[wrote bench trajectory to {args.emit_bench}]")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from .obs import critical_path, flame_view, write_chrome_trace
+    from .obs.runner import run_traced
+    from .sim.stats import collect_stats
+
+    node = run_traced(args.system, args.coll, size=args.size,
+                      nranks=args.nranks, component=args.component,
+                      root=args.root)
+    out = args.out or f"results/trace_{args.system}_{args.coll}.json"
+    doc = write_chrome_trace(out, node)
+    report = critical_path(node)
+    print(report.render(show_steps=args.steps))
+    print()
+    print(flame_view(node))
+    print()
+    print(collect_stats(node).render())
+    print(f"\n[wrote Chrome-trace JSON ({len(doc['traceEvents'])} events) "
+          f"to {out}]")
+    print("[open it at https://ui.perfetto.dev or chrome://tracing]")
+    if args.json:
+        write_json(args.json, report.to_json())
+        print(f"[wrote critical-path report to {args.json}]")
     return 0
 
 
@@ -236,7 +273,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--warmup", type=int, default=1)
     p.add_argument("--iters", type=int, default=3)
     p.add_argument("--json", help="also write the table as JSON here")
+    p.add_argument("--emit-bench", nargs="?", const="BENCH_2.json",
+                   help="write the perf-trajectory record (default path "
+                        "BENCH_2.json)")
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "trace", help="observed single run: critical path + Perfetto JSON")
+    p.add_argument("--system", default="epyc-1p")
+    p.add_argument("--coll", default="bcast",
+                   choices=["bcast", "allreduce", "reduce", "barrier",
+                            "gather", "alltoall"])
+    p.add_argument("--size", type=int, default=65536)
+    p.add_argument("--nranks", type=int)
+    p.add_argument("--component", default="xhc-tree",
+                   help="component name ('xhc' aliases xhc-tree)")
+    p.add_argument("--root", type=int, default=0)
+    p.add_argument("--out", help="Chrome-trace JSON path (default "
+                                 "results/trace_<system>_<coll>.json)")
+    p.add_argument("--steps", action="store_true",
+                   help="print every critical-path segment")
+    p.add_argument("--json", help="also write the critical-path report here")
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("figure", help="regenerate a paper figure/table")
     p.add_argument("name", help=f"one of: {', '.join(sorted(FIGURES))}")

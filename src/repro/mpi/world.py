@@ -148,9 +148,21 @@ class Communicator:
 
     # -- collectives ------------------------------------------------------------
 
+    def _observed(self, ctx: RankCtx, kind: str, gen) -> Iterator:
+        """Wrap a component generator in a collective-level span when the
+        node is observed; hands the generator back untouched otherwise."""
+        obs = self.node.obs
+        if not obs.enabled:
+            return gen
+        comp = getattr(self.component, "name",
+                       type(self.component).__name__)
+        return obs.wrap(gen, f"coll.{kind}", cat="coll", comp=comp,
+                        rank=self.rank_of(ctx))
+
     def _chained(self, ctx: RankCtx, kind: str, gen) -> Iterator:
         """Run a blocking collective, joining the rank's non-blocking
         chain if one exists (preserves operation order per rank)."""
+        gen = self._observed(ctx, kind, gen)
         me = self.rank_of(ctx)
         if me in self._nb_tail:
             req = _nb_start(self, ctx, kind, gen)
@@ -257,8 +269,8 @@ class Communicator:
     def ibcast(self, ctx: RankCtx, view: "BufView",
                root: int = 0) -> CollRequest:
         self._check(ctx, root)
-        return _nb_start(self, ctx, "bcast",
-                         self.component.bcast(self, ctx, view, root))
+        return _nb_start(self, ctx, "bcast", self._observed(
+            ctx, "bcast", self.component.bcast(self, ctx, view, root)))
 
     def iallreduce(
         self,
@@ -270,9 +282,9 @@ class Communicator:
     ) -> CollRequest:
         if sview.length != rview.length:
             raise MPIError("allreduce send/recv length mismatch")
-        return _nb_start(
-            self, ctx, "allreduce",
-            self.component.allreduce(self, ctx, sview, rview, op, dtype))
+        return _nb_start(self, ctx, "allreduce", self._observed(
+            ctx, "allreduce",
+            self.component.allreduce(self, ctx, sview, rview, op, dtype)))
 
     def ireduce(
         self,
@@ -284,13 +296,13 @@ class Communicator:
         root: int = 0,
     ) -> CollRequest:
         self._check(ctx, root)
-        return _nb_start(
-            self, ctx, "reduce",
-            self.component.reduce(self, ctx, sview, rview, op, dtype, root))
+        return _nb_start(self, ctx, "reduce", self._observed(
+            ctx, "reduce",
+            self.component.reduce(self, ctx, sview, rview, op, dtype, root)))
 
     def ibarrier(self, ctx: RankCtx) -> CollRequest:
-        return _nb_start(self, ctx, "barrier",
-                         self.component.barrier(self, ctx))
+        return _nb_start(self, ctx, "barrier", self._observed(
+            ctx, "barrier", self.component.barrier(self, ctx)))
 
     def _check(self, ctx: RankCtx, root: int) -> None:
         if not 0 <= root < self.size:

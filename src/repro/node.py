@@ -40,13 +40,15 @@ class Node:
         *,
         data_movement: bool = True,
         record_copies: bool = False,
+        observe: "bool | str | None" = None,
     ) -> None:
         self.topo = topo
         self.model = model if model is not None else model_for(topo)
         self.caches = CacheSystem(topo, self.model)
         self.resources = ResourcePool(topo, self.model)
         self.data_movement = data_movement
-        self.engine = Engine(self, record_copies=record_copies)
+        self.engine = Engine(self, record_copies=record_copies,
+                             observe=observe)
         self._dist_cache: dict[tuple[int, int], Distance] = {}
         # Core index -> NUMA/socket indices, precomputed for pricing.
         self._numa_of = [
@@ -76,6 +78,12 @@ class Node:
         # line. This is what makes wide flag fan-ins serialize (Fig. 10's
         # "separated" layout, the ARM-N1 flat-tree collapse).
         self._line_port: dict[int, float] = {}
+
+    @property
+    def obs(self):
+        """The engine's observer (:data:`repro.obs.NULL_OBSERVER` unless
+        constructed with ``observe=...``)."""
+        return self.engine.obs
 
     # -- setup helpers -----------------------------------------------------
 

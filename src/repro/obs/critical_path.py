@@ -1,0 +1,210 @@
+"""Critical-path analysis over the span/wait DAG of a finished run.
+
+The question Fig. 3 / Table II answers by hand — *which phase actually
+bounds this collective* — is answered mechanically here: start at the
+last instant of the run and walk backwards; whenever the current process
+was blocked, jump to the process whose write released it (the engine
+records the waker of every satisfied wait). The result is a chain of
+segments that tiles ``[0, sim_time]`` exactly: each segment is either
+*active* work attributed to the innermost span covering it (``xhc.fanout``,
+``copy``, ...) or residual *wait* time nobody's activity explains
+(external latency such as the wake-up line fetch).
+
+``by_phase`` sums to the simulated end time by construction — the
+machine-readable "why is this slower" report.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..node import Node
+    from .spans import Observer, SpanRecord, WaitRecord
+
+# Ignore float dust when comparing simulated times.
+_EPS = 1e-15
+
+
+@dataclass
+class PathStep:
+    """One segment of the critical path (chronological order)."""
+
+    track: int
+    track_name: str
+    kind: str          # "active" | "wait"
+    phase: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class CriticalPathReport:
+    total: float
+    end_track: int
+    steps: list[PathStep] = field(default_factory=list)
+    by_phase: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def phase_sum(self) -> float:
+        return sum(self.by_phase.values())
+
+    def to_json(self) -> dict:
+        return {
+            "total_s": self.total,
+            "end_track": self.end_track,
+            "phases": [
+                {"phase": name, "seconds": secs,
+                 "share": secs / self.total if self.total else 0.0}
+                for name, secs in sorted(self.by_phase.items(),
+                                         key=lambda kv: -kv[1])
+            ],
+            "steps": [
+                {"track": s.track, "name": s.track_name, "kind": s.kind,
+                 "phase": s.phase, "start_s": s.start, "end_s": s.end}
+                for s in self.steps
+            ],
+        }
+
+    def render(self, show_steps: bool = False) -> str:
+        tracks = {s.track for s in self.steps}
+        lines = [
+            f"critical path  {self.total * 1e6:.2f} us  "
+            f"({len(self.steps)} segment(s) across {len(tracks)} track(s))",
+            f"{'phase':<32}{'us':>12}{'%':>8}",
+            "-" * 52,
+        ]
+        for name, secs in sorted(self.by_phase.items(), key=lambda kv: -kv[1]):
+            share = 100.0 * secs / self.total if self.total else 0.0
+            lines.append(f"{name:<32}{secs * 1e6:>12.2f}{share:>8.1f}")
+        lines.append("-" * 52)
+        lines.append(f"{'total':<32}{self.phase_sum * 1e6:>12.2f}"
+                     f"{100.0 if self.total else 0.0:>8.1f}")
+        if show_steps:
+            lines.append("")
+            for s in self.steps:
+                lines.append(
+                    f"  [{s.start * 1e6:10.2f} .. {s.end * 1e6:10.2f}] "
+                    f"{s.kind:<7}{s.phase:<28}{s.track_name}"
+                )
+        return "\n".join(lines)
+
+
+def _attribute(spans: list["SpanRecord"], lo: float, hi: float,
+               fallback: str) -> list[tuple[str, float, float]]:
+    """Chop [lo, hi] at span boundaries; each piece goes to the innermost
+    (shortest) covering span, or ``fallback`` when none covers it."""
+    if hi - lo <= _EPS:
+        return []
+    points = {lo, hi}
+    for s in spans:
+        if s.end <= lo + _EPS or s.start >= hi - _EPS:
+            continue
+        points.add(max(lo, s.start))
+        points.add(min(hi, s.end))
+    ordered = sorted(points)
+    out: list[tuple[str, float, float]] = []
+    for a, b in zip(ordered, ordered[1:]):
+        if b - a <= _EPS:
+            continue
+        mid = (a + b) / 2.0
+        best: "SpanRecord | None" = None
+        for s in spans:
+            if s.start > mid:
+                break
+            if s.end > mid and (best is None
+                                or (s.end - s.start) < (best.end - best.start)):
+                best = s
+        name = best.name if best is not None else fallback
+        if out and out[-1][0] == name and abs(out[-1][2] - a) <= _EPS:
+            out[-1] = (name, out[-1][1], b)
+        else:
+            out.append((name, a, b))
+    return out
+
+
+def critical_path(node: "Node", end_track: int | None = None,
+                  max_steps: int = 1_000_000) -> CriticalPathReport:
+    """Walk the wait-dependency DAG backwards from the end of the run."""
+    obs: "Observer" = node.obs
+    if not obs.enabled:
+        raise ValueError(
+            "critical_path needs an observed run; construct the Node with "
+            "observe=True (see docs/observability.md)"
+        )
+    engine = node.engine
+    obs.flush_open()
+
+    # Attribution spans per track (waits are walked separately).
+    tree = {
+        track: [s for s in spans if s.cat != "wait"]
+        for track, spans in obs.span_tree().items()
+    }
+    waits: dict[int, list["WaitRecord"]] = {}
+    for w in obs.waits:
+        if w.end is not None:
+            waits.setdefault(w.track, []).append(w)
+    wait_ends: dict[int, list[float]] = {}
+    for track, ws in waits.items():
+        ws.sort(key=lambda w: w.end)
+        wait_ends[track] = [w.end for w in ws]
+
+    if end_track is None:
+        finished = [p for p in engine.processes if p.finish_time is not None]
+        if finished:
+            last = max(finished, key=lambda p: (p.finish_time, p.pid))
+            end_track = last.pid
+        else:
+            end_track = next(iter(tree), 0)
+
+    total = engine.now
+    report = CriticalPathReport(total=total, end_track=end_track)
+    raw: list[PathStep] = []
+    track = end_track
+    t = total
+
+    def emit_active(track: int, lo: float, hi: float) -> None:
+        name = obs.track_name(track)
+        for phase, a, b in _attribute(tree.get(track, []), lo, hi,
+                                      "(untracked)"):
+            raw.append(PathStep(track, name, "active", phase, a, b))
+
+    steps = 0
+    while t > _EPS and steps < max_steps:
+        steps += 1
+        prev = (track, t)
+        ends = wait_ends.get(track)
+        idx = bisect_right(ends, t + _EPS) - 1 if ends else -1
+        if idx < 0:
+            emit_active(track, 0.0, t)
+            break
+        w = waits[track][idx]
+        emit_active(track, w.end, t)
+        if w.waker is None or w.woke_at is None or w.waker == track:
+            # No recorded dependency (already-satisfied wait or external):
+            # charge the blocked interval to the wait target itself.
+            raw.append(PathStep(track, obs.track_name(track), "wait",
+                                f"wait:{w.group}", w.start, w.end))
+            t = w.start
+        else:
+            # Wake-up latency (write -> resumed) stays with the waiter;
+            # the time before the write belongs to the waker's activity.
+            raw.append(PathStep(track, obs.track_name(track), "wait",
+                                f"wait:{w.group}", w.woke_at, w.end))
+            t = w.woke_at
+            track = w.waker
+        if (track, t) == prev:  # zero-length wait: no further progress
+            break
+
+    raw.reverse()
+    report.steps = [s for s in raw if s.duration > _EPS]
+    for s in report.steps:
+        report.by_phase[s.phase] = \
+            report.by_phase.get(s.phase, 0.0) + s.duration
+    return report

@@ -1,0 +1,244 @@
+"""Trace export: Chrome-trace/Perfetto JSON and a text flame view.
+
+:func:`to_chrome_trace` emits the Trace Event Format that both
+``chrome://tracing`` and https://ui.perfetto.dev load directly: one
+Perfetto *process* per simulated core (several simulated processes — XHC's
+reducer/monitor helper roles — share a core, exactly as they share it in
+the simulation) and one *thread* per simulated process. Spans become
+complete ("X") events, logical messages become instants, and the metrics
+registry is appended under ``otherData``.
+
+:func:`validate_chrome_trace` is the schema check CI runs against every
+exported trace; :func:`from_chrome_trace` round-trips a document back
+into span records for testing and offline analysis.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..node import Node
+    from .spans import Observer
+
+from .spans import SETUP_TRACK, SpanRecord
+
+# Perfetto wants non-negative integer pids; park the setup track high.
+_SETUP_PID = 1_000_000
+
+
+def _pid_of(core: int) -> int:
+    return core if core >= 0 else _SETUP_PID
+
+
+def to_chrome_trace(node: "Node", include_metrics: bool = True) -> dict:
+    """Export an observed run as a Trace Event Format document."""
+    obs: "Observer" = node.obs
+    if not obs.enabled:
+        raise ValueError(
+            "trace export needs an observed run; construct the Node with "
+            "observe=True (see docs/observability.md)"
+        )
+    obs.flush_open()
+    events: list[dict] = []
+    seen_cores: set[int] = set()
+    for track, (name, core) in sorted(obs.tracks.items()):
+        pid = _pid_of(core)
+        if pid not in seen_cores:
+            seen_cores.add(pid)
+            events.append({
+                "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                "args": {"name": "setup" if core < 0 else f"core {core}"},
+            })
+            events.append({
+                "ph": "M", "name": "process_sort_index", "pid": pid,
+                "tid": 0, "args": {"sort_index": pid},
+            })
+        events.append({
+            "ph": "M", "name": "thread_name", "pid": pid, "tid": track,
+            "args": {"name": name},
+        })
+    for span in obs.spans:
+        if span.end is None:
+            continue
+        core = obs.track_core(span.track)
+        event = {
+            "ph": "X", "name": span.name, "cat": span.cat,
+            "ts": span.start * 1e6, "dur": (span.end - span.start) * 1e6,
+            "pid": _pid_of(core), "tid": span.track,
+        }
+        if span.args:
+            event["args"] = {k: v for k, v in span.args.items()
+                             if isinstance(v, (int, float, str, bool))}
+        events.append(event)
+    for t, track, label, meta in obs.instants:
+        core = obs.track_core(track)
+        events.append({
+            "ph": "i", "name": label, "cat": "instant", "s": "t",
+            "ts": t * 1e6, "pid": _pid_of(core), "tid": track,
+            "args": {k: v for k, v in meta.items()
+                     if isinstance(v, (int, float, str, bool))},
+        })
+    doc = {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "tool": "repro.obs",
+            "sim_time_s": node.engine.now,
+            "events_processed": node.engine.events_processed,
+            "spans": len(obs.spans),
+            "spans_dropped": obs.dropped,
+        },
+    }
+    if include_metrics:
+        doc["otherData"]["metrics"] = obs.metrics.snapshot()
+    return doc
+
+
+def write_chrome_trace(path: str | os.PathLike, node: "Node") -> dict:
+    """Export + write to ``path`` (creating directories); returns the doc."""
+    doc = to_chrome_trace(node)
+    path = os.fspath(path)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+    return doc
+
+
+_REQUIRED_BY_PHASE = {
+    "X": ("name", "ts", "dur", "pid", "tid"),
+    "M": ("name", "pid", "args"),
+    "i": ("name", "ts", "pid", "tid"),
+}
+
+
+def validate_chrome_trace(doc: dict) -> list[str]:
+    """Schema check for an exported document; returns a list of problems
+    (empty = loadable by Perfetto/chrome://tracing). CI runs this against
+    the trace-smoke artifact."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing traceEvents array"]
+    if not events:
+        errors.append("traceEvents is empty")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            errors.append(f"event {i} is not an object")
+            continue
+        ph = ev.get("ph")
+        required = _REQUIRED_BY_PHASE.get(ph)
+        if required is None:
+            errors.append(f"event {i}: unsupported phase {ph!r}")
+            continue
+        for key in required:
+            if key not in ev:
+                errors.append(f"event {i} ({ph}): missing {key!r}")
+        for key in ("ts", "dur"):
+            if key in ev and (not isinstance(ev[key], (int, float))
+                              or ev[key] < 0):
+                errors.append(f"event {i}: {key} must be a non-negative "
+                              f"number, got {ev[key]!r}")
+        for key in ("pid", "tid"):
+            if key in ev and not isinstance(ev[key], int):
+                errors.append(f"event {i}: {key} must be an integer")
+        if ph == "M" and "name" not in ev.get("args", {}) \
+                and "sort_index" not in ev.get("args", {}):
+            errors.append(f"event {i}: metadata without args payload")
+        if len(errors) > 20:
+            errors.append("... (further problems suppressed)")
+            break
+    return errors
+
+
+def from_chrome_trace(doc: dict) -> list[SpanRecord]:
+    """Rebuild span records from an exported document (round-trip path).
+
+    Only complete ("X") events come back; timestamps return to seconds.
+    Parent links are reconstructed from time-nesting per track.
+    """
+    spans: list[SpanRecord] = []
+    for i, ev in enumerate(doc.get("traceEvents", ())):
+        if ev.get("ph") != "X":
+            continue
+        spans.append(SpanRecord(
+            id=i, name=ev["name"], cat=ev.get("cat", ""),
+            track=ev["tid"], start=ev["ts"] / 1e6,
+            end=(ev["ts"] + ev["dur"]) / 1e6,
+            args=ev.get("args"),
+        ))
+    by_track: dict[int, list[SpanRecord]] = {}
+    for span in spans:
+        by_track.setdefault(span.track, []).append(span)
+    for group in by_track.values():
+        group.sort(key=lambda s: (s.start, -(s.end - s.start)))
+        stack: list[SpanRecord] = []
+        for span in group:
+            while stack and stack[-1].end <= span.start + 1e-15:
+                stack.pop()
+            span.parent = stack[-1].id if stack else None
+            stack.append(span)
+    return spans
+
+
+# -- text flame view ----------------------------------------------------------
+
+
+def flame_view(node: "Node", width: int = 40, min_share: float = 0.005,
+               ) -> str:
+    """Aggregate spans into a text flame tree (self time per stack path).
+
+    Each line is one call-stack path summed across all tracks: inclusive
+    time, a proportional bar, and the span name indented by stack depth —
+    the quick terminal answer to "where did the time go" before opening
+    the full trace in Perfetto.
+    """
+    obs: "Observer" = node.obs
+    if not obs.enabled:
+        return "(observability disabled; no spans)"
+    obs.flush_open()
+    by_id = {s.id: s for s in obs.spans}
+    totals: dict[tuple[str, ...], float] = {}
+    for span in obs.spans:
+        if span.end is None:
+            continue
+        path = [span.name]
+        parent = span.parent
+        depth = 0
+        while parent is not None and depth < 64:
+            rec = by_id.get(parent)
+            if rec is None:
+                break
+            path.append(rec.name)
+            parent = rec.parent
+            depth += 1
+        totals_key = tuple(reversed(path))
+        totals[totals_key] = totals.get(totals_key, 0.0) + span.duration
+    if not totals:
+        return "(no spans recorded)"
+    # Roll up: a path's inclusive time is its own plus all descendants'.
+    inclusive: dict[tuple[str, ...], float] = {}
+    for path, secs in totals.items():
+        for depth in range(1, len(path) + 1):
+            prefix = path[:depth]
+            inclusive[prefix] = inclusive.get(prefix, 0.0) + secs
+    top = max(v for k, v in inclusive.items() if len(k) == 1)
+    lines = ["flame view (inclusive us, all tracks)",
+             "-" * (width + 30)]
+    for path in sorted(inclusive,
+                       key=lambda p: tuple((-inclusive[p[:d + 1]], p[d])
+                                           for d in range(len(p)))):
+        secs = inclusive[path]
+        if top and secs / top < min_share:
+            continue
+        bar = "#" * max(1, int(round(width * secs / top))) if top else ""
+        indent = "  " * (len(path) - 1)
+        lines.append(f"{secs * 1e6:>12.2f}  {indent}{path[-1]:<28}{bar}")
+    return "\n".join(lines)

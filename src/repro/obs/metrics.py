@@ -1,0 +1,244 @@
+"""Metrics registry: counters, gauges and histograms for the simulator.
+
+The scattered ad-hoc counters that :mod:`repro.sim.stats` used to scrape
+(XPMEM attach totals, regcache hits, flag traffic) register here instead,
+so every report reads the same numbers. A metric is created once (usually
+at component setup) and updated on the hot path through a pre-resolved
+handle — with observability disabled the handles are shared no-op
+singletons, so the cost of an update is one attribute call.
+
+Naming convention: dot-separated, subsystem first —
+``xpmem.attaches``, ``regcache.hits``, ``flags.sets``,
+``message.bytes.intra-numa`` — see docs/observability.md for the full
+catalogue.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, n: int | float = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A value that can move both ways (levels, sizes, ratios)."""
+
+    kind = "gauge"
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, n: float = 1) -> None:
+        self.value += n
+
+    def dec(self, n: float = 1) -> None:
+        self.value -= n
+
+
+class Histogram:
+    """Power-of-two bucketed distribution (bytes, wait seconds, ...).
+
+    Bucket ``i`` counts observations in ``(2**(i-1), 2**i] * scale``;
+    bucket 0 counts observations ``<= scale``. ``scale`` sets the smallest
+    resolvable magnitude (1 byte, 1 nanosecond, ...).
+    """
+
+    kind = "histogram"
+
+    __slots__ = ("name", "help", "scale", "buckets", "count", "sum",
+                 "min", "max")
+
+    def __init__(self, name: str, help: str = "", scale: float = 1.0) -> None:
+        self.name = name
+        self.help = help
+        self.scale = scale
+        self.buckets: dict[int, int] = {}
+        self.count = 0
+        self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        scaled = value / self.scale
+        bucket = 0
+        while scaled > 1.0:
+            scaled /= 2.0
+            bucket += 1
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class _NullMetric:
+    """Shared do-nothing handle; every update method is a no-op."""
+
+    kind = "null"
+    name = ""
+    value = 0
+
+    __slots__ = ()
+
+    def inc(self, n=1) -> None:
+        pass
+
+    def dec(self, n=1) -> None:
+        pass
+
+    def set(self, value) -> None:
+        pass
+
+    def observe(self, value) -> None:
+        pass
+
+
+NULL_METRIC = _NullMetric()
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, cls, name: str, help: str, **kw):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, help, **kw)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"not {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  scale: float = 1.0) -> Histogram:
+        return self._get(Histogram, name, help, scale=scale)
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def value(self, name: str, default=0):
+        """Current value of a counter/gauge (``default`` if unregistered)."""
+        metric = self._metrics.get(name)
+        return default if metric is None else metric.value
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterator:
+        return iter(sorted(self._metrics.values(), key=lambda m: m.name))
+
+    def snapshot(self) -> dict:
+        """Machine-readable dump, one entry per metric."""
+        out: dict[str, dict] = {}
+        for metric in self:
+            entry: dict = {"type": metric.kind}
+            if isinstance(metric, Histogram):
+                entry.update(count=metric.count, sum=metric.sum,
+                             mean=metric.mean, min=metric.min,
+                             max=metric.max,
+                             buckets={str(k): v for k, v
+                                      in sorted(metric.buckets.items())})
+            else:
+                entry["value"] = metric.value
+            if metric.help:
+                entry["help"] = metric.help
+            out[metric.name] = entry
+        return out
+
+    def render(self, prefix: str | None = None) -> str:
+        """Aligned text dump (optionally only names under ``prefix``)."""
+        rows = []
+        for metric in self:
+            if prefix and not metric.name.startswith(prefix):
+                continue
+            if isinstance(metric, Histogram):
+                value = (f"n={metric.count} sum={metric.sum:.4g} "
+                         f"mean={metric.mean:.4g}")
+            elif isinstance(metric, float):  # pragma: no cover
+                value = f"{metric.value:.4g}"
+            else:
+                v = metric.value
+                value = f"{v:.4g}" if isinstance(v, float) else str(v)
+            rows.append((metric.name, metric.kind, value))
+        if not rows:
+            return "(no metrics recorded)"
+        name_w = max(len(r[0]) for r in rows) + 2
+        kind_w = max(len(r[1]) for r in rows) + 2
+        return "\n".join(
+            f"{name.ljust(name_w)}{kind.ljust(kind_w)}{value}"
+            for name, kind, value in rows
+        )
+
+
+class NullMetricsRegistry:
+    """Registry stand-in when observability is off: every metric is the
+    shared no-op handle, so pre-resolved hot-path updates cost nothing."""
+
+    def counter(self, name: str, help: str = "") -> _NullMetric:
+        return NULL_METRIC
+
+    def gauge(self, name: str, help: str = "") -> _NullMetric:
+        return NULL_METRIC
+
+    def histogram(self, name: str, help: str = "",
+                  scale: float = 1.0) -> _NullMetric:
+        return NULL_METRIC
+
+    def get(self, name: str):
+        return None
+
+    def value(self, name: str, default=0):
+        return default
+
+    def __len__(self) -> int:
+        return 0
+
+    def __iter__(self) -> Iterator:
+        return iter(())
+
+    def snapshot(self) -> dict:
+        return {}
+
+    def render(self, prefix: str | None = None) -> str:
+        return "(observability disabled; no metrics)"
+
+
+NULL_METRICS = NullMetricsRegistry()

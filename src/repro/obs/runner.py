@@ -1,0 +1,61 @@
+"""One-shot observed runs: the engine behind ``python -m repro trace``.
+
+Runs a single collective operation on a fresh node with observability on
+and hands back the node, ready for critical-path analysis and trace
+export. Kept separate from the OSU drivers because a trace wants exactly
+one un-warmed operation — the critical path of a whole warmup+iters sweep
+answers a different (and muddier) question.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..node import Node
+from ..topology import get_system
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+TRACEABLE_COLLS = ("bcast", "allreduce", "reduce", "barrier", "gather",
+                   "alltoall")
+
+
+def run_traced(
+    system: str,
+    coll: str = "bcast",
+    size: int = 65536,
+    nranks: int | None = None,
+    component: str = "xhc-tree",
+    root: int = 0,
+    observe: bool | str = True,
+) -> Node:
+    """Run one ``coll`` of ``size`` bytes under full observability.
+
+    ``component`` is a name from :data:`repro.bench.components.COMPONENTS`.
+    Returns the node; its ``obs`` holds the spans/metrics and its engine
+    the finished processes.
+    """
+    from ..bench.components import COMPONENTS
+    from ..bench.osu import run_collective
+
+    if coll not in TRACEABLE_COLLS:
+        raise ValueError(
+            f"cannot trace {coll!r}; choose from {TRACEABLE_COLLS}")
+    if component == "xhc":  # convenience alias for the paper's default
+        component = "xhc-tree"
+    try:
+        factory = COMPONENTS[component]
+    except KeyError:
+        raise ValueError(
+            f"unknown component {component!r}; choose from "
+            f"{sorted(COMPONENTS)}"
+        ) from None
+    size = max(size, 1)  # the OSU driver's scratch buffer must be non-empty
+    topo = get_system(system)
+    node = Node(topo, data_movement=False, observe=observe)
+    if nranks is None:
+        nranks = topo.n_cores
+    run_collective(coll, system, nranks, factory, size,
+                   warmup=0, iters=1, modify=False, root=root, node=node)
+    return node

@@ -19,20 +19,31 @@ if TYPE_CHECKING:  # pragma: no cover
 class RegistrationCache:
     """Per-process cache of established XPMEM attachments."""
 
-    def __init__(self, capacity: int | None = None) -> None:
+    def __init__(self, capacity: int | None = None, metrics=None) -> None:
         self.capacity = capacity
         self._entries: OrderedDict[int, "Buffer"] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        if metrics is None:
+            from ..obs.metrics import NULL_METRICS
+            metrics = NULL_METRICS
+        self._m_hits = metrics.counter(
+            "regcache.hits", "registration-cache lookup hits")
+        self._m_misses = metrics.counter(
+            "regcache.misses", "registration-cache lookup misses")
+        self._m_evictions = metrics.counter(
+            "regcache.evictions", "registration-cache LRU evictions")
 
     def lookup(self, buf: "Buffer") -> bool:
         """True (and refresh LRU) if an attachment to ``buf`` is cached."""
         if buf.id in self._entries:
             self._entries.move_to_end(buf.id)
             self.hits += 1
+            self._m_hits.inc()
             return True
         self.misses += 1
+        self._m_misses.inc()
         return False
 
     def insert(self, buf: "Buffer") -> None:
@@ -42,6 +53,7 @@ class RegistrationCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
+                self._m_evictions.inc()
 
     def invalidate(self, buf: "Buffer") -> bool:
         return self._entries.pop(buf.id, None) is not None

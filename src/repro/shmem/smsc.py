@@ -53,7 +53,15 @@ class SmscEndpoint:
         self.node = node
         self.rank = rank
         self.config = config or SmscConfig()
-        self.regcache = RegistrationCache(self.config.regcache_capacity)
+        metrics = node.engine.obs.metrics
+        self.regcache = RegistrationCache(self.config.regcache_capacity,
+                                          metrics=metrics)
+        self._m_copies = metrics.counter(
+            "smsc.copies", "single-copy transfers issued")
+        self._m_bytes = metrics.counter(
+            "smsc.bytes", "bytes moved by single-copy transfers")
+        self._m_reduces = metrics.counter(
+            "smsc.reduces", "direct reductions over peer buffers")
 
     @property
     def xpmem(self) -> "XpmemService":
@@ -101,6 +109,8 @@ class SmscEndpoint:
         mech = self.config.mechanism
         if mech is None:
             raise ShmemError("SMSC disabled; use a CICO path instead")
+        self._m_copies.inc()
+        self._m_bytes.inc(src.length)
         if mech == "xpmem":
             yield from self.map_peer(src)
             yield P.Copy(src=src, dst=dst)
@@ -122,6 +132,8 @@ class SmscEndpoint:
         if mech is None:
             raise ShmemError("SMSC disabled; use a CICO path instead")
         if mech == "xpmem":
+            self._m_copies.inc()
+            self._m_bytes.inc(src.length)
             yield from self.map_peer(dst)
             yield P.Copy(src=src, dst=dst)
             yield from self._unmap_if_uncached(dst)
@@ -142,6 +154,7 @@ class SmscEndpoint:
                 f"direct reduction requires xpmem, not "
                 f"{self.config.mechanism!r}; copy-in first"
             )
+        self._m_reduces.inc()
         for src in srcs:
             yield from self.map_peer(src)
         yield from self.map_peer(dst)

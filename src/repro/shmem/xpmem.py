@@ -28,6 +28,15 @@ class XpmemService:
         self.makes = 0
         self.attaches = 0
         self.detaches = 0
+        # Metric handles resolve to shared no-ops when the node is not
+        # observed, so the hot paths below pay one call per event.
+        metrics = node.engine.obs.metrics
+        self._m_makes = metrics.counter(
+            "xpmem.makes", "xpmem_make exposures")
+        self._m_attaches = metrics.counter(
+            "xpmem.attaches", "xpmem_get/attach mappings")
+        self._m_detaches = metrics.counter(
+            "xpmem.detaches", "xpmem_detach unmappings")
 
     def expose(self, buf: "Buffer") -> Iterator:
         """Owner publishes ``buf`` (xpmem_make). Idempotent after the first."""
@@ -35,6 +44,7 @@ class XpmemService:
             return
         self._exposed.add(buf.id)
         self.makes += 1
+        self._m_makes.inc()
         yield P.Syscall("generic")
 
     def is_exposed(self, buf: "Buffer") -> bool:
@@ -48,9 +58,13 @@ class XpmemService:
                 f"expose() it first"
             )
         self.attaches += 1
-        yield P.Syscall("xpmem_attach")
-        yield P.PageFaults(self.node.pages_of(buf.size))
+        self._m_attaches.inc()
+        with self.node.obs.span("xpmem.attach", cat="shmem",
+                                nbytes=buf.size):
+            yield P.Syscall("xpmem_attach")
+            yield P.PageFaults(self.node.pages_of(buf.size))
 
     def detach(self, buf: "Buffer") -> Iterator:
         self.detaches += 1
+        self._m_detaches.inc()
         yield P.Syscall("xpmem_detach")

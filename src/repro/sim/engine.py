@@ -22,6 +22,7 @@ import itertools
 from typing import Any, Callable, Generator
 
 from ..errors import DeadlockError, SimulationError
+from ..obs.spans import NULL_OBSERVER, NullObserver, Observer
 from . import primitives as P
 from .syncobj import Atomic, Flag
 
@@ -63,9 +64,28 @@ class SimProcess:
 
 
 class Engine:
-    """Deterministic event loop."""
+    """Deterministic event loop.
 
-    def __init__(self, pricer, record_copies: bool = False) -> None:
+    Observability is opt-in through the single ``observe`` knob:
+
+    * ``None``/``False`` (default) — no recording beyond zero-cost
+      ``Trace`` annotations; the hot paths pay one boolean check.
+    * ``True`` / ``"full"`` — attach an :class:`~repro.obs.spans.Observer`
+      recording spans, waits (with wakers), copy spans and metrics; also
+      enables the legacy per-copy trace records.
+    * ``"spans"`` — spans/waits/metrics without per-copy spans (lower
+      volume for long runs).
+    * an :class:`Observer` instance — bring your own (rebound to this
+      engine).
+
+    ``record_copies`` is the legacy subset (completion records in
+    ``engine.trace`` for :class:`repro.sim.trace.Timeline`); it grows the
+    trace list by one tuple per transfer, so leave it (and ``observe``)
+    off for large sweeps — overhead numbers are in docs/observability.md.
+    """
+
+    def __init__(self, pricer, record_copies: bool = False,
+                 observe: "bool | str | Observer | None" = None) -> None:
         self.pricer = pricer
         self.now = 0.0
         self._seq = itertools.count()
@@ -75,6 +95,31 @@ class Engine:
         self.record_copies = record_copies
         self.events_processed = 0
         self._running = False
+        self._current_proc: SimProcess | None = None
+        if observe is None or observe is False:
+            self.obs: "Observer | NullObserver" = NULL_OBSERVER
+        elif observe is True or observe == "full":
+            self.obs = Observer(self, record_copies=True)
+        elif observe == "spans":
+            self.obs = Observer(self, record_copies=False)
+        elif isinstance(observe, Observer):
+            self.obs = observe
+            self.obs.engine = self
+        else:
+            raise SimulationError(
+                f"unknown observe mode {observe!r}; expected True, False, "
+                f"'full', 'spans' or an Observer"
+            )
+        self._observe = self.obs.enabled
+        if self._observe and self.obs.record_copies:
+            self.record_copies = True
+        metrics = self.obs.metrics
+        self._m_flag_sets = metrics.counter(
+            "flags.sets", "single-writer flag stores")
+        self._m_wakeups = metrics.counter(
+            "flags.wakeups", "blocked waiters released by a write")
+        self._m_atomics = metrics.counter(
+            "atomics.rmw", "atomic read-modify-write operations")
         # CPU occupancy horizon per core: several logical tasks may be
         # pinned to one core (nonblocking sends, XHC's reducer/monitor
         # roles), but their compute/copy work serializes on the core just
@@ -150,8 +195,11 @@ class Engine:
             key = key.rsplit(".", 1)[0] if "." in key else key
             proc.wait_breakdown[key] = \
                 proc.wait_breakdown.get(key, 0.0) + waited
+            if self._observe:
+                self.obs.end_wait(proc)
         proc.state = ProcState.READY
         proc.blocked_on = None
+        self._current_proc = proc
         try:
             prim = proc.gen.send(send_value)
         except StopIteration as stop:
@@ -248,6 +296,9 @@ class Engine:
                     )
                 self._resume(proc, None)
 
+        if self._observe and self.obs.record_copies:
+            self.obs.record(proc, "copy", "copy", start, start + duration,
+                            nbytes=n)
         if start > self.now:
             self._schedule(start, begin)
         else:
@@ -289,6 +340,10 @@ class Engine:
                 )
             self._resume(proc, None)
 
+        if self._observe and self.obs.record_copies:
+            self.obs.record(
+                proc, "reduce" if isinstance(prim, P.Reduce) else "copy",
+                "copy", start, start + duration, nbytes=prim.nbytes)
         if start > self.now:
             self._schedule(start, begin)
         else:
@@ -304,6 +359,8 @@ class Engine:
             )
         flag.value = prim.value
         flag.line.on_write(proc.core)
+        if self._observe:
+            self._m_flag_sets.inc()
         self._wake_waiters(flag)
         self._schedule(
             self.now + self.pricer.store_cost, lambda: self._resume(proc, None)
@@ -323,6 +380,8 @@ class Engine:
                 lines.append(flag.line)
         for line in lines:
             line.on_write(proc.core)
+        if self._observe:
+            self._m_flag_sets.inc(len(prim.flags))
         for flag in prim.flags:
             self._wake_waiters(flag)
         cost = self.pricer.store_cost * len(prim.flags)
@@ -337,12 +396,16 @@ class Engine:
             proc.state = ProcState.BLOCKED
             proc.blocked_on = f"flag {flag.name}>={prim.value}"
             proc.blocked_since = self.now
+            if self._observe:
+                self.obs.begin_wait(proc, flag.name, "flag")
             flag.waiters.append((proc, prim.value, prim.cmp))
 
     def _h_atomic_rmw(self, proc: SimProcess, prim: P.AtomicRMW) -> None:
         atom = prim.atom
         line = atom.line
         line.pending_rmw += 1
+        if self._observe:
+            self._m_atomics.inc()
         start, duration = self.pricer.atomic_cost(proc.core, line, self.now)
         old = atom.value
         atom.value = old + prim.delta
@@ -364,6 +427,8 @@ class Engine:
             proc.state = ProcState.BLOCKED
             proc.blocked_on = f"atomic {atom.name}>={prim.value}"
             proc.blocked_since = self.now
+            if self._observe:
+                self.obs.begin_wait(proc, atom.name, "atomic")
             atom.waiters.append((proc, prim.value, prim.cmp))
 
     def _wake_waiters(self, obj: Flag | Atomic) -> None:
@@ -372,6 +437,9 @@ class Engine:
         still_blocked = []
         for proc, threshold, cmp in obj.waiters:
             if obj.satisfied(threshold, cmp):
+                if self._observe:
+                    self.obs.note_waker(proc, self._current_proc)
+                    self._m_wakeups.inc()
                 t = self.pricer.line_read(proc.core, obj.line, self.now)
                 self._schedule(t, lambda p=proc: self._resume(p, None))
             else:
@@ -388,6 +456,8 @@ class Engine:
 
     def _h_trace(self, proc: SimProcess, prim: P.Trace) -> None:
         self.trace.append((self.now, prim.label, prim.meta))
+        if self._observe:
+            self.obs.instant(proc, prim.label, prim.meta)
         self._resume(proc, None)
 
     _HANDLERS: dict[type, Callable] = {}

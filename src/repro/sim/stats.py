@@ -2,7 +2,10 @@
 
 Collects per-core busy time, event counts by primitive kind, flag traffic
 and XPMEM counters into one report — the first thing to look at when a
-collective is slower than expected.
+collective is slower than expected. On an observed run (``Node(...,
+observe=True)``) the report also carries the full metrics-registry
+snapshot, so every counter any subsystem registered rides along without
+this module having to know about it.
 """
 
 from __future__ import annotations
@@ -26,6 +29,8 @@ class RunStats:
     xpmem_detaches: int = 0
     messages: int = 0
     message_bytes: int = 0
+    # Metrics-registry snapshot (empty unless the run was observed).
+    metrics: dict[str, object] = field(default_factory=dict)
 
     @property
     def mean_core_utilization(self) -> float:
@@ -43,10 +48,28 @@ class RunStats:
             f"mean core busy     {100 * self.mean_core_utilization:11.1f} %",
             f"xpmem make/attach  {self.xpmem_makes:6d} /"
             f" {self.xpmem_attaches:6d}",
+            f"xpmem detaches     {self.xpmem_detaches:12d}",
             f"logical messages   {self.messages:12d} "
             f"({self.message_bytes} bytes)",
         ]
+        if self.metrics:
+            lines.append("")
+            lines.append(f"metrics ({len(self.metrics)} registered)")
+            for name in sorted(self.metrics):
+                lines.append(f"  {name:<34}"
+                             f"{_metric_cell(self.metrics[name]):>18}")
         return "\n".join(lines)
+
+
+def _metric_cell(value) -> str:
+    """Compact one snapshot entry for the text report."""
+    if isinstance(value, dict):
+        if value.get("type") == "histogram":
+            mean = value.get("mean")
+            mean_s = f"{mean:.3g}" if isinstance(mean, float) else "-"
+            return f"n={value.get('count', 0)} mean={mean_s}"
+        return str(value.get("value", value))
+    return str(value)
 
 
 def collect_stats(node: "Node") -> RunStats:
@@ -56,6 +79,7 @@ def collect_stats(node: "Node") -> RunStats:
     msgs = [m for _t, label, m in engine.trace if label == "message"]
     done = sum(1 for p in engine.processes
                if p.finish_time is not None)
+    obs = engine.obs
     return RunStats(
         sim_time=engine.now,
         events=engine.events_processed,
@@ -67,4 +91,5 @@ def collect_stats(node: "Node") -> RunStats:
         xpmem_detaches=node.xpmem.detaches,
         messages=len(msgs),
         message_bytes=sum(m.get("nbytes", 0) for m in msgs),
+        metrics=obs.metrics.snapshot() if obs.enabled else {},
     )

@@ -25,11 +25,22 @@ FENCE_COST = 5e-9
 
 
 class FlagAllocator:
-    """Creates flags with a chosen cache-line placement policy."""
+    """Creates flags with a chosen cache-line placement policy.
 
-    def __init__(self, namespace: str = "") -> None:
+    ``metrics`` (a :class:`repro.obs.metrics.MetricsRegistry`) records how
+    many flags were allocated and how many landed on shared lines.
+    """
+
+    def __init__(self, namespace: str = "", metrics=None) -> None:
         self.namespace = namespace
         self._count = 0
+        if metrics is None:
+            from ..obs.metrics import NULL_METRICS
+            metrics = NULL_METRICS
+        self._m_allocated = metrics.counter(
+            "flags.allocated", "flags created by allocators")
+        self._m_shared = metrics.counter(
+            "flags.lines_shared", "flags packed onto shared cache lines")
 
     def _name(self, name: str) -> str:
         self._count += 1
@@ -37,6 +48,9 @@ class FlagAllocator:
 
     def flag(self, name: str, owner_core: int, line: Line | None = None) -> Flag:
         """One flag; on its own line unless ``line`` is given."""
+        self._m_allocated.inc()
+        if line is not None:
+            self._m_shared.inc()
         return Flag(self._name(name), owner_core, line)
 
     def flag_group(

@@ -85,8 +85,15 @@ SYSTEMS: dict[str, Callable[[], Topology]] = {
 
 
 def get_system(name: str) -> Topology:
-    """Look a Table I system up by codename (case/sep-insensitive)."""
+    """Look a Table I system up by codename (case/sep-insensitive;
+    "epyc1p", "EPYC_1P" and "epyc-1p" all resolve)."""
     key = name.lower().replace("_", "-")
+    if key not in SYSTEMS:
+        squeezed = key.replace("-", "")
+        for known in SYSTEMS:
+            if known.replace("-", "") == squeezed:
+                key = known
+                break
     try:
         return SYSTEMS[key]()
     except KeyError:

@@ -116,7 +116,8 @@ class Xhc(CollComponent):
         h = self._hier_cache.get(root)
         if h is None:
             cores = [ctx.core for ctx in comm.ranks]
-            h = build_hierarchy(comm.node.topo, cores, self.cfg.tokens(), root)
+            h = build_hierarchy(comm.node.topo, cores, self.cfg.tokens(),
+                                root, obs=comm.node.obs)
             self._hier_cache[root] = h
         return h
 
@@ -181,6 +182,11 @@ class Xhc(CollComponent):
     def bcast(self, comm, ctx, view, root) -> Iterator:
         if comm.size == 1 or view.length == 0:
             return
+        yield from comm.node.obs.wrap(
+            self._bcast_impl(comm, ctx, view, root), "xhc.bcast",
+            cat="coll", nbytes=view.length, root=root)
+
+    def _bcast_impl(self, comm, ctx, view, root) -> Iterator:
         me = comm.rank_of(ctx)
         led = self._ledger(comm, me)
         hier = self._hierarchy(comm, root)
@@ -228,15 +234,16 @@ class Xhc(CollComponent):
         cached, so with a ring of depth K each child's flag is actually
         fetched only ~every K ops — the fan-in amortization that keeps the
         flat tree's small-message latency low."""
-        slack = self.cfg.cico_ring - 1
-        for child, _level in hier.children(me):
-            target = led["ack"][child] - slack
-            if target <= 0 or led["ack_seen"][child] >= target:
-                continue
-            yield P.WaitFlag(self.ack[child], target)
-            # The fetch that satisfied the wait read the line's current
-            # value; remember it to skip future checks.
-            led["ack_seen"][child] = self.ack[child].value
+        with comm.node.obs.span("xhc.cico_gate", rank=me):
+            slack = self.cfg.cico_ring - 1
+            for child, _level in hier.children(me):
+                target = led["ack"][child] - slack
+                if target <= 0 or led["ack_seen"][child] >= target:
+                    continue
+                yield P.WaitFlag(self.ack[child], target)
+                # The fetch that satisfied the wait read the line's current
+                # value; remember it to skip future checks.
+                led["ack_seen"][child] = self.ack[child].value
 
     def _fanout_pull(self, comm, ctx, me: int, hier: Hierarchy, nbytes: int,
                      small: bool, dst_view, led: dict,
@@ -251,32 +258,35 @@ class Xhc(CollComponent):
         avail_base_p = led["avail"][parent]
         avail_base_me = led["avail"][me]
         got = 0
-        while got < nbytes:
-            n = min(chunk, nbytes - got)
-            yield from self._wait_avail(comm, parent, me,
-                                        avail_base_p + got + n)
-            if small:
-                src = self.cico_res[parent][parity].sub(got, n)
-                if has_children:
-                    yield P.Copy(
-                        src=src, dst=self.cico_res[me][parity].sub(got, n))
-                    got += n
-                    yield from self._set_avail(comm, hier, me,
-                                               avail_base_me + got)
-                    yield P.Copy(
-                        src=self.cico_res[me][parity].sub(got - n, n),
-                        dst=dst_view.sub(got - n, n))
+        with comm.node.obs.span("xhc.fanout", rank=me, parent=parent,
+                                level=level, nbytes=nbytes, chunk=chunk):
+            while got < nbytes:
+                n = min(chunk, nbytes - got)
+                yield from self._wait_avail(comm, parent, me,
+                                            avail_base_p + got + n)
+                if small:
+                    src = self.cico_res[parent][parity].sub(got, n)
+                    if has_children:
+                        yield P.Copy(
+                            src=src,
+                            dst=self.cico_res[me][parity].sub(got, n))
+                        got += n
+                        yield from self._set_avail(comm, hier, me,
+                                                   avail_base_me + got)
+                        yield P.Copy(
+                            src=self.cico_res[me][parity].sub(got - n, n),
+                            dst=dst_view.sub(got - n, n))
+                    else:
+                        yield P.Copy(src=src, dst=dst_view.sub(got, n))
+                        got += n
                 else:
-                    yield P.Copy(src=src, dst=dst_view.sub(got, n))
+                    pview = self._pub_fan[parent]
+                    yield from ctx.smsc.copy_from(pview.sub(got, n),
+                                                  dst_view.sub(got, n))
                     got += n
-            else:
-                pview = self._pub_fan[parent]
-                yield from ctx.smsc.copy_from(pview.sub(got, n),
-                                              dst_view.sub(got, n))
-                got += n
-                if has_children:
-                    yield from self._set_avail(comm, hier, me,
-                                               avail_base_me + got)
+                    if has_children:
+                        yield from self._set_avail(comm, hier, me,
+                                                   avail_base_me + got)
 
     def _finalize(self, comm, hier: Hierarchy, me: int, led: dict,
                   wait_children: bool = True) -> Iterator:
@@ -290,11 +300,12 @@ class Xhc(CollComponent):
         successive operations overlap down the hierarchy in a wave. The
         CICO path skips the gather here entirely (it happens lazily in
         :meth:`_cico_entry`)."""
-        if hier.parent(me) is not None:
-            yield P.SetFlag(self.ack[me], led["ack"][me] + 1)
-        if wait_children:
-            for child, _level in hier.children(me):
-                yield P.WaitFlag(self.ack[child], led["ack"][child] + 1)
+        with comm.node.obs.span("xhc.finalize", rank=me):
+            if hier.parent(me) is not None:
+                yield P.SetFlag(self.ack[me], led["ack"][me] + 1)
+            if wait_children:
+                for child, _level in hier.children(me):
+                    yield P.WaitFlag(self.ack[child], led["ack"][child] + 1)
 
     def _update_fan_ledger(self, comm, hier: Hierarchy, me: int, led: dict,
                            nbytes: int) -> None:
@@ -307,12 +318,16 @@ class Xhc(CollComponent):
     # -- allreduce (SSIV-B) -------------------------------------------------
 
     def allreduce(self, comm, ctx, sview, rview, op, dtype) -> Iterator:
-        yield from self._reduce_impl(comm, ctx, sview, rview, op, dtype,
-                                     root=0, fan_out=True)
+        yield from comm.node.obs.wrap(
+            self._reduce_impl(comm, ctx, sview, rview, op, dtype,
+                              root=0, fan_out=True),
+            "xhc.allreduce", cat="coll", nbytes=sview.length)
 
     def reduce(self, comm, ctx, sview, rview, op, dtype, root) -> Iterator:
-        yield from self._reduce_impl(comm, ctx, sview, rview, op, dtype,
-                                     root=root, fan_out=False)
+        yield from comm.node.obs.wrap(
+            self._reduce_impl(comm, ctx, sview, rview, op, dtype,
+                              root=root, fan_out=False),
+            "xhc.reduce", cat="coll", nbytes=sview.length, root=root)
 
     def _reduce_impl(self, comm, ctx, sview, rview, op, dtype, root,
                      fan_out) -> Iterator:
@@ -451,28 +466,30 @@ class Xhc(CollComponent):
         ready_bases = {p: led["ready"][p][level] for p in peers}
         done_base = led["done"][me]
         pos = lo
-        while pos < hi:
-            n = min(chunk, hi - pos)
-            for p in peers:
-                yield P.WaitFlag(self.ready[p][level],
-                                 ready_bases[p] + pos + n)
-            # Buffer lookups happen only after the readiness waits: the
-            # leader's publication precedes its first ready announcement.
-            srcs = [
-                self._contrib(comm, p, level, nbytes, small, parity)
-                .sub(pos, n)
-                for p in peers
-            ]
-            dst = self._result(comm, group.leader, nbytes, small,
-                               parity).sub(pos, n)
-            if small:
-                yield P.Reduce(srcs=tuple(srcs), dst=dst, op=op.ufunc,
-                               dtype=dtype.np_dtype)
-            else:
-                yield from ctx.smsc.reduce_from(srcs, dst, op=op.ufunc,
-                                                dtype=dtype.np_dtype)
-            pos += n
-            yield P.SetFlag(self.done[me], done_base + (pos - lo))
+        with comm.node.obs.span("xhc.reduce.work", rank=me, level=level,
+                                lo=lo, hi=hi):
+            while pos < hi:
+                n = min(chunk, hi - pos)
+                for p in peers:
+                    yield P.WaitFlag(self.ready[p][level],
+                                     ready_bases[p] + pos + n)
+                # Buffer lookups happen only after the readiness waits: the
+                # leader's publication precedes its first ready announcement.
+                srcs = [
+                    self._contrib(comm, p, level, nbytes, small, parity)
+                    .sub(pos, n)
+                    for p in peers
+                ]
+                dst = self._result(comm, group.leader, nbytes, small,
+                                   parity).sub(pos, n)
+                if small:
+                    yield P.Reduce(srcs=tuple(srcs), dst=dst, op=op.ufunc,
+                                   dtype=dtype.np_dtype)
+                else:
+                    yield from ctx.smsc.reduce_from(srcs, dst, op=op.ufunc,
+                                                    dtype=dtype.np_dtype)
+                pos += n
+                yield P.SetFlag(self.done[me], done_base + (pos - lo))
 
     def _monitor(self, comm, ctx, me: int, hier: Hierarchy, group: Group,
                  nbytes: int, small: bool, fan_out: bool, dtype,
@@ -494,34 +511,39 @@ class Xhc(CollComponent):
         ready_base_next = led["ready"][me][next_level]
         avail_base = led["avail"][me]
         c = 0
-        while c < nbytes:
-            c_end = min(c + chunk, nbytes)
-            for w, (off, n) in assigned:
-                need = min(off + n, c_end) - off
-                if need > 0:
-                    yield P.WaitFlag(self.done[w], done_bases[w] + need)
-            if not workers:
-                # Singleton group: forward our own contribution.
-                yield P.WaitFlag(self.ready[me][level],
-                                 ready_base_own + c_end)
-                if level == 0:
-                    src = self._contrib(comm, me, 0, nbytes, small, parity)
-                    dst = self._result(comm, me, nbytes, small, parity)
-                    yield P.Copy(src=src.sub(c, c_end - c),
-                                 dst=dst.sub(c, c_end - c))
-            if is_top:
-                if fan_out:
-                    yield from self._set_avail(comm, hier, me,
-                                               avail_base + c_end)
-                    if self.cfg.flag_layout != "single":
-                        # The root's own fan-out wait uses the single flag.
+        with comm.node.obs.span("xhc.reduce.monitor", rank=me,
+                                level=level, top=is_top):
+            while c < nbytes:
+                c_end = min(c + chunk, nbytes)
+                for w, (off, n) in assigned:
+                    need = min(off + n, c_end) - off
+                    if need > 0:
+                        yield P.WaitFlag(self.done[w], done_bases[w] + need)
+                if not workers:
+                    # Singleton group: forward our own contribution.
+                    yield P.WaitFlag(self.ready[me][level],
+                                     ready_base_own + c_end)
+                    if level == 0:
+                        src = self._contrib(comm, me, 0, nbytes, small,
+                                            parity)
+                        dst = self._result(comm, me, nbytes, small, parity)
+                        yield P.Copy(src=src.sub(c, c_end - c),
+                                     dst=dst.sub(c, c_end - c))
+                if is_top:
+                    if fan_out:
+                        yield from self._set_avail(comm, hier, me,
+                                                   avail_base + c_end)
+                        if self.cfg.flag_layout != "single":
+                            # The root's own fan-out wait uses the single
+                            # flag.
+                            yield P.SetFlag(self.avail[me],
+                                            avail_base + c_end)
+                    else:
                         yield P.SetFlag(self.avail[me], avail_base + c_end)
                 else:
-                    yield P.SetFlag(self.avail[me], avail_base + c_end)
-            else:
-                yield P.SetFlag(self.ready[me][next_level],
-                                ready_base_next + c_end)
-            c = c_end
+                    yield P.SetFlag(self.ready[me][next_level],
+                                    ready_base_next + c_end)
+                c = c_end
 
     def _update_reduce_ledger(self, comm, hier: Hierarchy, me: int, led: dict,
                               nbytes: int, dtype, fan_out: bool) -> None:
@@ -702,6 +724,10 @@ class Xhc(CollComponent):
     def barrier(self, comm, ctx) -> Iterator:
         if comm.size == 1:
             return
+        yield from comm.node.obs.wrap(
+            self._barrier_impl(comm, ctx), "xhc.barrier", cat="coll")
+
+    def _barrier_impl(self, comm, ctx) -> Iterator:
         me = comm.rank_of(ctx)
         led = self._ledger(comm, me)
         hier = self._hierarchy(comm, 0)

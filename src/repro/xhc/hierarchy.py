@@ -104,12 +104,14 @@ def build_hierarchy(
     rank_cores: list[int],
     tokens: list[ObjKind],
     root: int = 0,
+    obs=None,
 ) -> Hierarchy:
     """Build the hierarchy for ranks pinned to ``rank_cores``.
 
     ``tokens`` are sensitivity kinds innermost-first ([] gives a flat
     single-group hierarchy). The returned levels are indexed from the
-    innermost (level 0) to the top.
+    innermost (level 0) to the top. ``obs`` (an observer) records the
+    construction in the metrics registry when given.
     """
     nranks = len(rank_cores)
     if not 0 <= root < nranks:
@@ -156,4 +158,12 @@ def build_hierarchy(
         raise TopologyError(
             f"internal error: top leader {top_leader} is not root {root}"
         )  # pragma: no cover
-    return Hierarchy(levels, nranks, root)
+    hier = Hierarchy(levels, nranks, root)
+    if obs is not None and obs.enabled:
+        obs.metrics.counter(
+            "xhc.hierarchies_built",
+            "hierarchy constructions (one per distinct root)").inc()
+        obs.metrics.gauge(
+            "xhc.hierarchy_levels", "depth of the last-built hierarchy",
+        ).set(hier.n_levels)
+    return hier

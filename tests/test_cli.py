@@ -137,3 +137,50 @@ def test_tune_resume_skips(tmp_path, capsys):
     assert code == 0
     assert "resume" in out
     assert "simulations: 0 new" in out
+
+
+def test_trace_command(tmp_path, capsys):
+    out_path = tmp_path / "trace.json"
+    # "epyc1p" exercises the forgiving system-name lookup.
+    code, out = run_cli(capsys, "trace", "--system", "epyc1p",
+                        "--coll", "bcast", "--size", "65536",
+                        "--out", str(out_path))
+    assert code == 0
+    assert "critical path" in out
+    assert "xpmem.attach" in out or "copy" in out
+    doc = json.loads(out_path.read_text())
+    from repro.obs import validate_chrome_trace
+    assert validate_chrome_trace(doc) == []
+
+
+def test_trace_command_json_report(tmp_path, capsys):
+    out_path = tmp_path / "trace.json"
+    report_path = tmp_path / "critpath.json"
+    code, _ = run_cli(capsys, "trace", "--system", "epyc-1p",
+                      "--coll", "barrier", "--nranks", "16",
+                      "--out", str(out_path), "--json", str(report_path))
+    assert code == 0
+    report = json.loads(report_path.read_text())
+    total = report["total_s"]
+    assert total > 0
+    phase_sum = sum(p["seconds"] for p in report["phases"])
+    assert abs(phase_sum - total) <= 0.01 * total
+
+
+def test_bench_emit_bench(tmp_path, capsys):
+    path = tmp_path / "BENCH_X.json"
+    code, _ = run_cli(capsys, "bench", "bcast", "--system", "epyc-1p",
+                      "--nranks", "8", "--components", "tuned,xhc-tree",
+                      "--sizes", "64,4096", "--iters", "1",
+                      "--emit-bench", str(path))
+    assert code == 0
+    doc = json.loads(path.read_text())
+    assert doc["bench_schema"] == 1
+    assert doc["tag"] == "BENCH_X"
+    assert doc["collective"] == "bcast"
+    assert doc["nranks"] == 8
+    labels = {s["label"] for s in doc["series"]}
+    assert labels == {"tuned", "xhc-tree"}
+    for series in doc["series"]:
+        assert [p["size"] for p in series["points"]] == [64, 4096]
+        assert all(p["latency_us"] > 0 for p in series["points"])

@@ -1,0 +1,139 @@
+"""Metrics registry (repro.obs.metrics) + its wiring into the simulator."""
+
+import pytest
+
+from repro.mpi import World
+from repro.node import Node
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               NULL_METRIC, NULL_METRICS,
+                               NullMetricsRegistry)
+from repro.sim.trace import bytes_by_distance
+from repro.xhc import Xhc
+
+from conftest import small_topo
+
+
+def run_bcast(observe=True, nranks=8, size=4096):
+    node = Node(small_topo(), data_movement=False, observe=observe)
+    world = World(node, nranks)
+    comm = world.communicator(Xhc())
+
+    def program(comm_, ctx):
+        buf = ctx.alloc("b", size)
+        yield from comm_.bcast(ctx, buf.whole(), 0)
+    comm.run(program)
+    return node
+
+
+# -- primitives ---------------------------------------------------------------
+
+
+def test_counter_gauge_histogram():
+    c = Counter("c", "help text")
+    c.inc()
+    c.inc(41)
+    assert c.value == 42
+
+    g = Gauge("g")
+    g.set(10.0)
+    g.inc(5)
+    g.dec(2.5)
+    assert g.value == 12.5
+
+    h = Histogram("h", scale=1.0)
+    for v in (0.5, 1.0, 3.0, 100.0):
+        h.observe(v)
+    assert h.count == 4
+    assert h.sum == pytest.approx(104.5)
+    assert h.mean == pytest.approx(104.5 / 4)
+    assert h.min == 0.5 and h.max == 100.0
+    # <=1 lands in bucket 0; (2,4] in bucket 2; (64,128] in bucket 7.
+    assert h.buckets[0] == 2
+    assert h.buckets[2] == 1
+    assert h.buckets[7] == 1
+
+
+def test_registry_get_or_create_and_type_check():
+    reg = MetricsRegistry()
+    a = reg.counter("x.count", "first")
+    b = reg.counter("x.count", "second registration ignored")
+    assert a is b
+    assert a.help == "first"
+    with pytest.raises(TypeError):
+        reg.gauge("x.count")
+    assert reg.value("x.count") == 0
+    assert reg.value("missing", default=-1) == -1
+    assert reg.get("missing") is None
+
+
+def test_registry_snapshot_and_render():
+    reg = MetricsRegistry()
+    reg.counter("b.two").inc(7)
+    reg.gauge("a.one").set(1.5)
+    reg.histogram("c.three", scale=2.0).observe(3.0)
+    names = [m.name for m in reg]
+    assert names == sorted(names)
+    snap = reg.snapshot()
+    assert snap["b.two"] == {"type": "counter", "value": 7}
+    assert snap["a.one"]["value"] == 1.5
+    assert snap["c.three"]["count"] == 1
+    text = reg.render()
+    assert "b.two" in text and "counter" in text
+    assert reg.render(prefix="zz") == "(no metrics recorded)"
+
+
+def test_null_registry_is_inert():
+    reg = NullMetricsRegistry()
+    handle = reg.counter("anything")
+    assert handle is NULL_METRIC
+    handle.inc()
+    handle.set(5)
+    handle.observe(1.0)
+    assert handle.value == 0
+    assert len(reg) == 0
+    assert reg.snapshot() == {}
+    assert list(reg) == []
+    assert "disabled" in reg.render()
+    assert NULL_METRICS.counter("x") is NULL_METRIC
+
+
+# -- simulator wiring ---------------------------------------------------------
+
+
+def test_observed_run_populates_registry():
+    node = run_bcast()
+    m = node.obs.metrics
+    assert m.value("messages.count") == 7
+    assert m.value("messages.bytes") == 7 * 4096
+    assert m.value("xpmem.attaches") == node.xpmem.attaches
+    assert m.value("xpmem.makes") == node.xpmem.makes
+    assert m.value("flags.sets") > 0
+    assert m.value("flags.wakeups") > 0
+    hist = m.get("flags.wait_seconds")
+    assert hist is not None and hist.count == m.value("flags.blocked_waits")
+
+
+def test_message_bytes_by_distance_matches_trace():
+    node = run_bcast(size=1000)
+    by_trace = bytes_by_distance(node)
+    m = node.obs.metrics
+    for label, nbytes in by_trace.items():
+        assert m.value(f"message.bytes.{label}") == nbytes
+    total = sum(by_trace.values())
+    assert m.value("messages.bytes") == total == 7 * 1000
+
+
+def test_regcache_and_smsc_metrics():
+    node = run_bcast(size=200_000)  # large -> single-copy path
+    m = node.obs.metrics
+    assert m.value("regcache.misses") > 0
+    assert m.value("smsc.copies") > 0
+    assert m.value("smsc.bytes") > 0
+
+
+def test_disabled_run_registers_nothing():
+    node = run_bcast(observe=False)
+    assert not node.obs.enabled
+    assert node.obs.metrics.snapshot() == {}
+    # Legacy attribute counters still work without the registry.
+    assert node.xpmem.attaches > 0

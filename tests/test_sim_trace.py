@@ -91,3 +91,24 @@ def test_resource_report_sorted():
     served = [r["bytes_served"] for r in report]
     assert served == sorted(served, reverse=True)
     assert all(r["peak_active"] >= 0 for r in report)
+
+
+def test_observe_full_feeds_timeline():
+    # observe=True implies copy recording: the legacy Timeline keeps
+    # working without passing record_copies separately.
+    node = Node(small_topo(), data_movement=False, observe=True)
+    world = World(node, 8)
+    comm = world.communicator(Xhc())
+
+    def program(comm_, ctx):
+        buf = ctx.alloc("b", 100_000)
+        yield from comm_.bcast(ctx, buf.whole(), 0)
+    comm.run(program)
+    tl = Timeline.from_engine(node.engine)
+    assert tl.busy_events(1) > 0
+    assert "#" in tl.render(width=30)
+    # Observer copy spans cover at least the completed transfers the
+    # legacy trace records (spans are per re-pricing quantum).
+    copy_spans = [s for s in node.obs.spans if s.cat == "copy"]
+    legacy = [t for t in node.engine.trace if t[1] == "copy"]
+    assert legacy and len(copy_spans) >= len(legacy)

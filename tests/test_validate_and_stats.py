@@ -78,3 +78,35 @@ def test_stats_empty_engine():
     stats = collect_stats(node)
     assert stats.mean_core_utilization == 0.0
     assert stats.events == 0
+
+
+def test_stats_render_lists_xpmem_detaches():
+    node = Node(small_topo(), data_movement=False)
+    text = collect_stats(node).render()
+    assert "xpmem make/attach" in text
+    assert "xpmem detaches" in text
+
+
+def test_collect_stats_carries_metrics_snapshot():
+    def run(observe):
+        node = Node(small_topo(), data_movement=False, observe=observe)
+        world = World(node, 8)
+        comm = world.communicator(Xhc())
+
+        def program(comm_, ctx):
+            buf = ctx.alloc("b", 4096)
+            yield from comm_.bcast(ctx, buf.whole(), 0)
+        comm.run(program)
+        return collect_stats(node)
+
+    observed = run(True)
+    assert observed.metrics
+    assert observed.metrics["messages.count"]["value"] == observed.messages
+    text = observed.render()
+    assert "messages.count" in text and "flags.sets" in text
+    # Histograms render compactly, not as raw dicts.
+    assert "buckets" not in text
+
+    plain = run(None)
+    assert plain.metrics == {}
+    assert "messages.count" not in plain.render()
