@@ -18,6 +18,7 @@ from .node import Node
 from .topology import get_system, build_symmetric
 from .mpi import World
 from .xhc import Xhc, XhcConfig
+from . import check
 from . import obs
 
 __version__ = "1.0.0"
@@ -27,6 +28,7 @@ __all__ = [
     "World",
     "Xhc",
     "XhcConfig",
+    "check",
     "get_system",
     "build_symmetric",
     "obs",

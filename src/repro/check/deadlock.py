@@ -1,0 +1,117 @@
+"""Wait-for-graph deadlock analysis for the engine.
+
+A blocked process waits on a flag or an atomic. Who could unblock it?
+
+* a :class:`~repro.sim.syncobj.Flag` is single-writer: only processes on
+  ``flag.owner_core`` can store it (the engine enforces this), so they
+  are the only candidate wakers;
+* an :class:`~repro.sim.syncobj.Atomic` can be bumped by anyone alive.
+
+A set of blocked processes is *stuck* when every candidate waker of every
+member is itself in the set (greatest fixpoint). This is sound here
+because new processes are only ever spawned onto the spawner's own core,
+so a stuck core cannot grow a fresh writer. The engine consults this
+module in three places: at event-queue drain (always — the classic
+"everyone still blocked" deadlock), from the run-loop watchdog (always —
+catches spins that would otherwise hang pytest), and proactively at every
+block when constructed with ``check='deadlock'`` or ``'full'`` (reports
+the cycle the moment it closes, while the rest of the node still runs).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .report import Finding
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import Engine, SimProcess
+
+
+class DeadlockInfo:
+    """A stuck set plus one representative wait-for cycle through it."""
+
+    def __init__(self, stuck: "list[SimProcess]",
+                 cycle: "list[SimProcess]") -> None:
+        self.stuck = stuck
+        self.cycle = cycle
+
+    @property
+    def cycle_names(self) -> list[str]:
+        return [p.name for p in self.cycle]
+
+    def describe(self) -> str:
+        if not self.cycle:
+            return "no wait-for cycle (blocked with no possible waker)"
+        hops = " -> ".join(
+            f"{p.name}(core {p.core}, on {p.blocked_on})" for p in self.cycle
+        )
+        return f"wait-for cycle: {hops} -> back to {self.cycle[0].name}"
+
+    def finding(self, now: float) -> Finding:
+        return Finding(
+            kind="deadlock",
+            message=(f"{len(self.stuck)} process(es) can never be woken: "
+                     f"{self.describe()}"),
+            procs=tuple(p.name for p in self.stuck),
+            time=now,
+        )
+
+
+def _candidate_wakers(engine: "Engine",
+                      proc: "SimProcess") -> "list[SimProcess]":
+    """Alive processes that could satisfy ``proc``'s pending wait."""
+    obj = proc.blocked_obj
+    owner_core = getattr(obj, "owner_core", None)
+    out = []
+    for p in engine.processes:
+        if p is proc or p.state.name == "DONE":
+            continue
+        if owner_core is not None and p.core != owner_core:
+            continue
+        out.append(p)
+    return out
+
+
+def find_deadlock(engine: "Engine") -> DeadlockInfo | None:
+    """Greatest-fixpoint stuck-set analysis; ``None`` when every blocked
+    process still has a reachable waker."""
+    blocked = [
+        p for p in engine.processes
+        if p.state.name == "BLOCKED" and not p.waking
+    ]
+    if not blocked:
+        return None
+    stuck = set(blocked)
+    changed = True
+    while changed:
+        changed = False
+        for p in list(stuck):
+            for cand in _candidate_wakers(engine, p):
+                if cand not in stuck:
+                    stuck.discard(p)
+                    changed = True
+                    break
+    if not stuck:
+        return None
+    ordered = sorted(stuck, key=lambda p: p.pid)
+    return DeadlockInfo(ordered, _extract_cycle(engine, stuck))
+
+
+def _extract_cycle(engine: "Engine",
+                   stuck: "set[SimProcess]") -> "list[SimProcess]":
+    """Walk p -> (its lowest-pid stuck candidate waker) until a node
+    repeats; the tail from the repeat is a cycle. A walk that dead-ends
+    (a wait with no candidates at all) returns the chain instead."""
+    start = min(stuck, key=lambda p: p.pid)
+    order: "list[SimProcess]" = []
+    index: dict[int, int] = {}
+    p = start
+    while p is not None and p.pid not in index:
+        index[p.pid] = len(order)
+        order.append(p)
+        nxt = [c for c in _candidate_wakers(engine, p) if c in stuck]
+        p = min(nxt, key=lambda c: c.pid) if nxt else None
+    if p is None:
+        return order
+    return order[index[p.pid]:]

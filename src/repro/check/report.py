@@ -1,0 +1,102 @@
+"""Findings and reports shared by both heads of ``repro.check``.
+
+A :class:`Finding` is one detected violation — a data race, a deadlock
+cycle, an un-attached single-copy access, or a lint rule hit. The dynamic
+sanitizer (:mod:`repro.check.race`, :mod:`repro.check.deadlock`) and the
+static pass (:mod:`repro.check.lint`) both emit them, so the CLI and CI
+can aggregate everything into one :class:`CheckReport`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class Finding:
+    """One detected violation.
+
+    ``kind`` is ``"race"``, ``"xpmem"``, ``"deadlock"`` or ``"lint"``;
+    ``where`` locates it (a buffer range for dynamic findings, a
+    ``file:line`` for lint); ``procs`` names the involved simulated
+    processes; ``span`` carries the innermost obs span context of the
+    racing access, when observability was on.
+    """
+
+    kind: str
+    message: str
+    where: str | None = None
+    procs: tuple[str, ...] = ()
+    time: float | None = None
+    span: str | None = None
+    rule: str | None = None
+    extra: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        out = {"kind": self.kind, "message": self.message}
+        if self.where is not None:
+            out["where"] = self.where
+        if self.procs:
+            out["procs"] = list(self.procs)
+        if self.time is not None:
+            out["time"] = self.time
+        if self.span is not None:
+            out["span"] = self.span
+        if self.rule is not None:
+            out["rule"] = self.rule
+        if self.extra:
+            out["extra"] = self.extra
+        return out
+
+    def __str__(self) -> str:
+        head = f"[{self.rule or self.kind}]"
+        loc = f" {self.where}:" if self.where else ""
+        return f"{head}{loc} {self.message}"
+
+
+class CheckReport:
+    """An ordered collection of findings with serialization helpers."""
+
+    def __init__(self, findings: list[Finding] | None = None) -> None:
+        self.findings: list[Finding] = list(findings or [])
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def extend(self, other: "CheckReport | list[Finding]") -> None:
+        self.findings.extend(
+            other.findings if isinstance(other, CheckReport) else other)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def by_kind(self, kind: str) -> list[Finding]:
+        return [f for f in self.findings if f.kind == kind]
+
+    def summary(self) -> str:
+        if self.ok:
+            return "check: clean (0 findings)"
+        kinds: dict[str, int] = {}
+        for f in self.findings:
+            kinds[f.kind] = kinds.get(f.kind, 0) + 1
+        parts = ", ".join(f"{n} {k}" for k, n in sorted(kinds.items()))
+        return f"check: {len(self.findings)} finding(s) ({parts})"
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(
+            {"ok": self.ok, "count": len(self.findings),
+             "findings": [f.to_dict() for f in self.findings]},
+            indent=indent,
+        )
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def __iter__(self) -> Iterator[Finding]:
+        return iter(self.findings)
+
+    def __repr__(self) -> str:
+        return f"<CheckReport {self.summary()!r}>"

@@ -1,0 +1,68 @@
+"""One-shot sanitized runs: the engine behind ``python -m repro check``.
+
+Runs collectives on a fresh node with the dynamic sanitizer (and span
+tracing, so findings carry phase context) and aggregates everything into
+one :class:`~repro.check.report.CheckReport`. Mirrors
+:mod:`repro.obs.runner` — a check wants fresh happens-before state per
+operation, so each (collective, size) point gets its own node.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import DeadlockError
+from ..node import Node
+from ..topology import get_system
+from .report import CheckReport, Finding
+
+DEFAULT_COLLS = ("bcast", "allreduce")
+DEFAULT_SIZES = (1024, 65536)
+
+
+def run_sanitized(
+    system: str = "epyc-1p",
+    colls: Iterable[str] = DEFAULT_COLLS,
+    sizes: Iterable[int] = DEFAULT_SIZES,
+    nranks: int | None = None,
+    component: str = "xhc-tree",
+    check: str = "full",
+    root: int = 0,
+    iters: int = 2,
+) -> CheckReport:
+    """Run each (collective, size) point under ``Node(check=...)``.
+
+    Data movement is off (the sanitizer tracks ranges, not bytes) and
+    spans are on so findings name the collective phase. A deadlock raise
+    is caught and reported as a finding rather than aborting the sweep.
+    """
+    from ..bench.components import COMPONENTS
+    from ..bench.osu import run_collective
+
+    if component == "xhc":
+        component = "xhc-tree"
+    factory = COMPONENTS[component]
+    topo = get_system(system)
+    if nranks is None:
+        nranks = topo.n_cores
+    report = CheckReport()
+    for coll in colls:
+        for size in sizes:
+            node = Node(topo, data_movement=False, observe="spans",
+                        check=check)
+            try:
+                run_collective(coll, system, nranks, factory, max(size, 1),
+                               warmup=0, iters=iters, modify=True,
+                               root=root, node=node)
+            except DeadlockError as exc:
+                report.add(Finding(
+                    kind="deadlock",
+                    message=f"{coll}/{size}B on {system}: {exc}",
+                    extra={"coll": coll, "size": size,
+                           "cycle": list(exc.cycle)},
+                ))
+            for finding in node.check_report:
+                finding.extra.setdefault("coll", coll)
+                finding.extra.setdefault("size", size)
+                report.add(finding)
+    return report

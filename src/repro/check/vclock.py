@@ -1,0 +1,49 @@
+"""Vector clocks for happens-before tracking.
+
+The race detector (:mod:`repro.check.race`) keeps one :class:`VClock` per
+simulated process and one per sync object (flag / atomic). Accesses are
+stamped FastTrack-style with a scalar *epoch* — the accessing process's
+own component at access time — because comparing a later access against a
+stored one only needs ``epoch <= clock[pid]``, not a full clock join.
+"""
+
+from __future__ import annotations
+
+
+class VClock:
+    """A sparse vector clock: pid -> logical time (missing means 0)."""
+
+    __slots__ = ("c",)
+
+    def __init__(self, c: dict[int, int] | None = None) -> None:
+        self.c: dict[int, int] = dict(c) if c else {}
+
+    def get(self, pid: int) -> int:
+        return self.c.get(pid, 0)
+
+    def tick(self, pid: int) -> None:
+        self.c[pid] = self.c.get(pid, 0) + 1
+
+    def join(self, other: "VClock") -> None:
+        mine = self.c
+        for pid, t in other.c.items():
+            if t > mine.get(pid, 0):
+                mine[pid] = t
+
+    def copy(self) -> "VClock":
+        return VClock(self.c)
+
+    def happened_before(self, pid: int, epoch: int) -> bool:
+        """True iff an access stamped (pid, epoch) happens-before the
+        point in time this clock represents."""
+        return epoch <= self.c.get(pid, 0)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VClock):
+            return NotImplemented
+        return {p: t for p, t in self.c.items() if t} == \
+            {p: t for p, t in other.c.items() if t}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{p}:{t}" for p, t in sorted(self.c.items()))
+        return f"<vc {{{inner}}}>"

@@ -10,6 +10,8 @@ Commands
 ``tune``     autotune XHC and persist a decision table (see docs/tuning.md)
 ``trace``    run one collective observed; critical path + Perfetto JSON
              (see docs/observability.md)
+``check``    correctness tooling: AST lint over the tree and/or the
+             race/deadlock sanitizer over an OSU sweep (docs/checking.md)
 """
 
 from __future__ import annotations
@@ -249,6 +251,51 @@ def cmd_app(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    from .check.lint import run_lint, write_fingerprint
+    from .check.report import CheckReport
+
+    if args.update_fingerprint:
+        path = write_fingerprint()
+        print(f"[regenerated sim fingerprint manifest at {path}]")
+
+    # No selector = run everything (the CI default).
+    run_all = not (args.lint or args.race or args.deadlock)
+    report = CheckReport()
+
+    if args.lint or run_all:
+        lint_report = run_lint(paths=args.paths or None)
+        report.extend(lint_report)
+        print(f"[lint: {len(lint_report)} finding(s)]")
+
+    if args.race or args.deadlock or run_all:
+        from .check.runner import run_sanitized
+        mode = "full" if (run_all or (args.race and args.deadlock)) else \
+            ("race" if args.race else "deadlock")
+        colls = args.colls.split(",") if args.colls else None
+        sizes = (tuple(int(s) for s in args.sizes.split(","))
+                 if args.sizes else None)
+        kwargs = dict(system=args.system, nranks=args.nranks,
+                      component=args.component, check=mode)
+        if colls:
+            kwargs["colls"] = colls
+        if sizes:
+            kwargs["sizes"] = sizes
+        dyn_report = run_sanitized(**kwargs)
+        report.extend(dyn_report)
+        print(f"[sanitizer ({mode}): {len(dyn_report)} finding(s)]")
+
+    for finding in report:
+        print(f"  {finding}")
+    print(report.summary())
+    if args.json:
+        write_json(args.json, {"ok": report.ok,
+                               "count": len(report),
+                               "findings": [f.to_dict() for f in report]})
+        print(f"[wrote findings to {args.json}]")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -326,6 +373,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache", default="results/tuned/cache.json")
     p.add_argument("--json", help="also write the full tuning report here")
     p.set_defaults(fn=cmd_tune)
+
+    p = sub.add_parser(
+        "check", help="lint the tree and/or sanitize collectives "
+                      "(race/deadlock); no selector runs both")
+    p.add_argument("--lint", action="store_true",
+                   help="static AST lint only")
+    p.add_argument("--race", action="store_true",
+                   help="happens-before race sanitizer over an OSU sweep")
+    p.add_argument("--deadlock", action="store_true",
+                   help="proactive wait-for-graph analysis over the sweep")
+    p.add_argument("--paths", nargs="*",
+                   help="files/dirs to lint (default: package + tests + "
+                        "benchmarks)")
+    p.add_argument("--system", default="epyc-1p")
+    p.add_argument("--nranks", type=int,
+                   help="ranks for the sanitizer sweep (default: all cores)")
+    p.add_argument("--component", default="xhc-tree")
+    p.add_argument("--colls", help="comma-separated (default: "
+                                   "bcast,allreduce)")
+    p.add_argument("--sizes", help="comma-separated bytes (default: "
+                                   "1024,65536)")
+    p.add_argument("--update-fingerprint", action="store_true",
+                   help="regenerate the RC105 sim-semantics fingerprint "
+                        "manifest (run after bumping SIM_VERSION)")
+    p.add_argument("--json", help="write findings as JSON here")
+    p.set_defaults(fn=cmd_check)
 
     p = sub.add_parser("app", help="run an application skeleton")
     p.add_argument("app", choices=["pisvm", "miniamr", "cntk"])

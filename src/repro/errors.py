@@ -14,7 +14,14 @@ class SimulationError(ReproError):
 
 
 class DeadlockError(SimulationError):
-    """The event queue drained while processes were still blocked."""
+    """Blocked processes that can never be woken — raised at event-queue
+    drain, by the engine watchdog, or proactively under
+    ``check='deadlock'``. ``cycle`` names the processes on the wait-for
+    cycle (empty when the analysis found a dead-end chain instead)."""
+
+    def __init__(self, message: str, cycle: list[str] | None = None) -> None:
+        super().__init__(message)
+        self.cycle: list[str] = list(cycle or [])
 
 
 class MemoryModelError(ReproError):

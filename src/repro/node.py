@@ -41,6 +41,7 @@ class Node:
         data_movement: bool = True,
         record_copies: bool = False,
         observe: "bool | str | None" = None,
+        check: "bool | str | None" = None,
     ) -> None:
         self.topo = topo
         self.model = model if model is not None else model_for(topo)
@@ -48,7 +49,7 @@ class Node:
         self.resources = ResourcePool(topo, self.model)
         self.data_movement = data_movement
         self.engine = Engine(self, record_copies=record_copies,
-                             observe=observe)
+                             observe=observe, check=check)
         self._dist_cache: dict[tuple[int, int], Distance] = {}
         # Core index -> NUMA/socket indices, precomputed for pricing.
         self._numa_of = [
@@ -84,6 +85,14 @@ class Node:
         """The engine's observer (:data:`repro.obs.NULL_OBSERVER` unless
         constructed with ``observe=...``)."""
         return self.engine.obs
+
+    @property
+    def check_report(self):
+        """Sanitizer findings so far (:class:`repro.check.CheckReport`;
+        empty unless constructed with ``check='race'`` or ``'full'``)."""
+        from .check.report import CheckReport
+        checker = self.engine.checker
+        return checker.report() if checker is not None else CheckReport()
 
     # -- setup helpers -----------------------------------------------------
 

@@ -170,6 +170,17 @@ class Observer:
     def track_core(self, track: int) -> int:
         return self.tracks.get(track, ("?", -1))[1]
 
+    def current_span(self, track: int) -> str | None:
+        """Name (plus rank arg, if any) of the innermost open span on
+        ``track`` — the phase context repro.check attaches to findings."""
+        stack = self._stacks.get(track)
+        if not stack:
+            return None
+        rec = stack[-1]
+        if rec.args and "rank" in rec.args:
+            return f"{rec.name}(rank={rec.args['rank']})"
+        return rec.name
+
     # -- stack spans --------------------------------------------------------
 
     def span(self, name: str, cat: str = "phase", **args: Any):
@@ -346,6 +357,9 @@ class NullObserver:
 
     def track_core(self, track: int) -> int:
         return -1
+
+    def current_span(self, track: int) -> None:
+        return None
 
 
 NULL_OBSERVER = NullObserver()

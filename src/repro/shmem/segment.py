@@ -7,6 +7,7 @@ steady-state CICO transfers carry no kernel cost — only the two copies.
 
 from __future__ import annotations
 
+import weakref
 from typing import TYPE_CHECKING
 
 from ..errors import ShmemError
@@ -22,11 +23,18 @@ class SharedSegment:
     mailboxes); :meth:`region` hands out views by name.
     """
 
+    # buf.id -> segment, weakly, so repro.check can name the region an
+    # offset falls in ("r0:xhc.cico.0:data.3[...]") without every
+    # allocation site having to register with the checker.
+    _by_buf: "weakref.WeakValueDictionary[int, SharedSegment]" = \
+        weakref.WeakValueDictionary()
+
     def __init__(self, space: "AddressSpace", name: str, size: int) -> None:
         self.owner_rank = space.rank
         self.buf: "Buffer" = space.alloc(name, size, shared=True)
         self._regions: dict[str, tuple[int, int]] = {}
         self._cursor = 0
+        SharedSegment._by_buf[self.buf.id] = self
 
     @property
     def size(self) -> int:
@@ -55,3 +63,15 @@ class SharedSegment:
 
     def has_region(self, name: str) -> bool:
         return name in self._regions
+
+    def region_at(self, offset: int) -> str | None:
+        """Name of the reserved region containing ``offset``, if any."""
+        for name, (start, size) in self._regions.items():
+            if start <= offset < start + size:
+                return name
+        return None
+
+    @classmethod
+    def lookup(cls, buf: "Buffer") -> "SharedSegment | None":
+        """The segment backing ``buf``, when one exists."""
+        return cls._by_buf.get(buf.id)

@@ -59,6 +59,9 @@ class XpmemService:
             )
         self.attaches += 1
         self._m_attaches.inc()
+        checker = self.node.engine.checker
+        if checker is not None:
+            checker.on_attach(self.node.engine._current_proc, buf)
         with self.node.obs.span("xpmem.attach", cat="shmem",
                                 nbytes=buf.size):
             yield P.Syscall("xpmem_attach")
@@ -67,4 +70,7 @@ class XpmemService:
     def detach(self, buf: "Buffer") -> Iterator:
         self.detaches += 1
         self._m_detaches.inc()
+        checker = self.node.engine.checker
+        if checker is not None:
+            checker.on_detach(self.node.engine._current_proc, buf)
         yield P.Syscall("xpmem_detach")

@@ -39,8 +39,8 @@ class SimProcess:
     _ids = itertools.count()
 
     __slots__ = ("pid", "name", "core", "gen", "state", "result",
-                 "finish_time", "blocked_on", "blocked_since", "wait_time",
-                 "wait_breakdown")
+                 "finish_time", "blocked_on", "blocked_obj", "waking",
+                 "blocked_since", "wait_time", "wait_breakdown")
 
     def __init__(self, name: str, core: int,
                  gen: Generator[Any, Any, Any]) -> None:
@@ -52,6 +52,12 @@ class SimProcess:
         self.result: Any = None
         self.finish_time: float | None = None
         self.blocked_on: str | None = None
+        # The Flag/Atomic this process is blocked on (deadlock analysis
+        # needs the object, not just the display string), and whether a
+        # satisfying write already scheduled its resume — a proc with
+        # ``waking`` set is still BLOCKED but no longer waiting on anyone.
+        self.blocked_obj: Any = None
+        self.waking: bool = False
         self.blocked_since: float = 0.0
         # Total time spent blocked on flags/atomics, and a breakdown by
         # the waited object's name prefix (e.g. "xhc.avail") — the first
@@ -82,10 +88,24 @@ class Engine:
     ``engine.trace`` for :class:`repro.sim.trace.Timeline`); it grows the
     trace list by one tuple per transfer, so leave it (and ``observe``)
     off for large sweeps — overhead numbers are in docs/observability.md.
+
+    Correctness checking is opt-in through the ``check`` knob, mirroring
+    ``observe``:
+
+    * ``None``/``False`` (default) — no happens-before tracking; the hot
+      paths pay one boolean check. The drain-time deadlock report and the
+      run-loop watchdog stay on — a hung simulation is a bug regardless.
+    * ``'race'`` — vector-clock race detection plus the XPMEM attachment
+      protocol (:mod:`repro.check.race`); findings in ``checker.report()``.
+    * ``'deadlock'`` — proactive wait-for-graph analysis at every block,
+      raising :class:`~repro.errors.DeadlockError` the moment a cycle
+      closes instead of at queue drain.
+    * ``'full'``/``True`` — both.
     """
 
     def __init__(self, pricer, record_copies: bool = False,
-                 observe: "bool | str | Observer | None" = None) -> None:
+                 observe: "bool | str | Observer | None" = None,
+                 check: "bool | str | None" = None) -> None:
         self.pricer = pricer
         self.now = 0.0
         self._seq = itertools.count()
@@ -113,6 +133,29 @@ class Engine:
         self._observe = self.obs.enabled
         if self._observe and self.obs.record_copies:
             self.record_copies = True
+        if check is True:
+            check = "full"
+        if check is None or check is False:
+            self.checker = None
+            self._dl_proactive = False
+        elif check in ("race", "deadlock", "full"):
+            from ..check.race import RaceChecker
+            self.checker = (RaceChecker(self) if check in ("race", "full")
+                            else None)
+            self._dl_proactive = check in ("deadlock", "full")
+        else:
+            raise SimulationError(
+                f"unknown check mode {check!r}; expected None, 'race', "
+                f"'deadlock' or 'full'"
+            )
+        self._race = self.checker is not None
+        # Progress counter for the watchdog: bumped every time a process
+        # generator actually advances. A window of watchdog_every events
+        # with no progress means the run is spinning (livelock) or every
+        # process is unwakeably blocked (deadlock) — raise instead of
+        # hanging the caller.
+        self._progress = 0
+        self.watchdog_every = 1_000_000
         metrics = self.obs.metrics
         self._m_flag_sets = metrics.counter(
             "flags.sets", "single-writer flag stores")
@@ -143,6 +186,9 @@ class Engine:
     def spawn(self, gen: Generator, core: int, name: str = "") -> SimProcess:
         proc = SimProcess(name or f"proc{len(self.processes)}", core, gen)
         self.processes.append(proc)
+        if self._race:
+            self.checker.on_spawn(
+                self._current_proc if self._running else None, proc)
         self._schedule(self.now, lambda: self._resume(proc, None))
         return proc
 
@@ -151,6 +197,8 @@ class Engine:
         if self._running:
             raise SimulationError("engine is not reentrant")
         self._running = True
+        progress_mark = self._progress
+        next_watch = self.events_processed + self.watchdog_every
         try:
             while self._heap:
                 t, _, fn = heapq.heappop(self._heap)
@@ -163,6 +211,11 @@ class Engine:
                 self.now = t
                 self.events_processed += 1
                 fn()
+                if self.events_processed >= next_watch:
+                    if self._progress == progress_mark:
+                        self._watchdog_fire()
+                    progress_mark = self._progress
+                    next_watch = self.events_processed + self.watchdog_every
             self._check_deadlock()
             return self.now
         finally:
@@ -179,12 +232,47 @@ class Engine:
     def _check_deadlock(self) -> None:
         stuck = self.alive()
         if stuck:
+            from ..check.deadlock import find_deadlock
+            info = find_deadlock(self)
             detail = ", ".join(
                 f"{p.name}(on {p.blocked_on})" for p in stuck[:8]
             )
-            raise DeadlockError(
+            msg = (
                 f"{len(stuck)} process(es) still blocked at t={self.now:.3e}: "
                 f"{detail}"
+            )
+            cycle: list[str] = []
+            if info is not None:
+                msg += f"; {info.describe()}"
+                cycle = info.cycle_names
+            raise DeadlockError(msg, cycle=cycle)
+
+    def _watchdog_fire(self) -> None:
+        """No generator progressed for a whole watchdog window: decide
+        between an unwakeable-blocked deadlock and a pure event spin."""
+        from ..check.deadlock import find_deadlock
+        info = find_deadlock(self)
+        if info is not None:
+            raise DeadlockError(
+                f"watchdog: no process progressed in {self.watchdog_every} "
+                f"events at t={self.now:.3e}; {info.describe()}",
+                cycle=info.cycle_names,
+            )
+        raise SimulationError(
+            f"watchdog: livelock — {self.watchdog_every} events at "
+            f"t={self.now:.3e} without any process advancing (an unbounded "
+            f"compute or a self-rescheduling event chain)"
+        )
+
+    def _deadlock_probe(self) -> None:
+        """Proactive analysis at a block (check='deadlock'/'full'): raise
+        the moment a wait-for cycle closes, while the rest still runs."""
+        from ..check.deadlock import find_deadlock
+        info = find_deadlock(self)
+        if info is not None:
+            raise DeadlockError(
+                f"deadlock at t={self.now:.3e}: {info.describe()}",
+                cycle=info.cycle_names,
             )
 
     def _resume(self, proc: SimProcess, send_value: Any) -> None:
@@ -199,6 +287,9 @@ class Engine:
                 self.obs.end_wait(proc)
         proc.state = ProcState.READY
         proc.blocked_on = None
+        proc.blocked_obj = None
+        proc.waking = False
+        self._progress += 1
         self._current_proc = proc
         try:
             prim = proc.gen.send(send_value)
@@ -253,6 +344,8 @@ class Engine:
     COPY_QUANTUM = 64 * 1024
 
     def _h_copy(self, proc: SimProcess, prim: P.Copy) -> None:
+        if self._race:
+            self.checker.on_copy(proc, prim)
         if prim.nbytes > self.COPY_QUANTUM:
             self._copy_quantum(proc, prim, 0)
             return
@@ -306,6 +399,8 @@ class Engine:
         self._schedule(start + duration, finish)
 
     def _h_reduce(self, proc: SimProcess, prim: P.Reduce) -> None:
+        if self._race:
+            self.checker.on_reduce(proc, prim)
         duration, resources, complete = self.pricer.plan_reduce(
             proc.core, prim, self.now
         )
@@ -361,6 +456,8 @@ class Engine:
         flag.line.on_write(proc.core)
         if self._observe:
             self._m_flag_sets.inc()
+        if self._race:
+            self.checker.on_release(proc, flag)
         self._wake_waiters(flag)
         self._schedule(
             self.now + self.pricer.store_cost, lambda: self._resume(proc, None)
@@ -383,6 +480,8 @@ class Engine:
         if self._observe:
             self._m_flag_sets.inc(len(prim.flags))
         for flag in prim.flags:
+            if self._race:
+                self.checker.on_release(proc, flag)
             self._wake_waiters(flag)
         cost = self.pricer.store_cost * len(prim.flags)
         self._schedule(self.now + cost, lambda: self._resume(proc, None))
@@ -390,15 +489,20 @@ class Engine:
     def _h_wait_flag(self, proc: SimProcess, prim: P.WaitFlag) -> None:
         flag = prim.flag
         if flag.satisfied(prim.value, prim.cmp):
+            if self._race:
+                self.checker.on_acquire(proc, flag)
             t = self.pricer.line_read(proc.core, flag.line, self.now)
             self._schedule(t, lambda: self._resume(proc, None))
         else:
             proc.state = ProcState.BLOCKED
             proc.blocked_on = f"flag {flag.name}>={prim.value}"
+            proc.blocked_obj = flag
             proc.blocked_since = self.now
             if self._observe:
                 self.obs.begin_wait(proc, flag.name, "flag")
             flag.waiters.append((proc, prim.value, prim.cmp))
+            if self._dl_proactive:
+                self._deadlock_probe()
 
     def _h_atomic_rmw(self, proc: SimProcess, prim: P.AtomicRMW) -> None:
         atom = prim.atom
@@ -406,6 +510,8 @@ class Engine:
         line.pending_rmw += 1
         if self._observe:
             self._m_atomics.inc()
+        if self._race:
+            self.checker.on_rmw(proc, atom)
         start, duration = self.pricer.atomic_cost(proc.core, line, self.now)
         old = atom.value
         atom.value = old + prim.delta
@@ -421,15 +527,20 @@ class Engine:
     def _h_wait_atomic(self, proc: SimProcess, prim: P.WaitAtomic) -> None:
         atom = prim.atom
         if atom.satisfied(prim.value, prim.cmp):
+            if self._race:
+                self.checker.on_acquire(proc, atom)
             t = self.pricer.line_read(proc.core, atom.line, self.now)
             self._schedule(t, lambda: self._resume(proc, None))
         else:
             proc.state = ProcState.BLOCKED
             proc.blocked_on = f"atomic {atom.name}>={prim.value}"
+            proc.blocked_obj = atom
             proc.blocked_since = self.now
             if self._observe:
                 self.obs.begin_wait(proc, atom.name, "atomic")
             atom.waiters.append((proc, prim.value, prim.cmp))
+            if self._dl_proactive:
+                self._deadlock_probe()
 
     def _wake_waiters(self, obj: Flag | Atomic) -> None:
         if not obj.waiters:
@@ -440,6 +551,9 @@ class Engine:
                 if self._observe:
                     self.obs.note_waker(proc, self._current_proc)
                     self._m_wakeups.inc()
+                if self._race:
+                    self.checker.on_acquire(proc, obj)
+                proc.waking = True
                 t = self.pricer.line_read(proc.core, obj.line, self.now)
                 self._schedule(t, lambda p=proc: self._resume(p, None))
             else:

@@ -4,6 +4,12 @@ Used by the `sm`-style baselines and by the Fig. 4 motivational experiment.
 Every fetch-add requires exclusive line ownership: contenders queue at the
 line and pay the ownership ping-pong from the previous owner — which is
 exactly why atomics-based synchronization collapses at high core counts.
+
+For the race checker (:mod:`repro.check.race`), a ``P.AtomicRMW`` is both
+an acquire and a release on the counter (like C++ ``memory_order_acq_rel``
+fetch-adds), and a satisfied ``P.WaitAtomic`` is an acquire — so
+counter-mediated handoffs (sm's done counters) carry happens-before just
+like flag protocols do.
 """
 
 from __future__ import annotations

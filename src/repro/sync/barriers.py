@@ -4,6 +4,12 @@ A flat dissemination-free barrier: every participant bumps a personal
 arrival flag (single writer: itself), the designated root waits for all of
 them and bumps a release flag everyone else waits on. Monotonic counters
 make the structures reusable across episodes with no reset races.
+
+Because the barrier is built purely from flag release/acquire pairs, the
+race checker (:mod:`repro.check.race`) sees it for free: an episode
+orders every pre-barrier access of every participant before every
+post-barrier access of every other — the full-fence edge collectives
+like allgather rely on before reusing publish buffers.
 """
 
 from __future__ import annotations

@@ -14,6 +14,12 @@ program order, so ``wmb``/``rmb`` are correctness no-ops; they exist so
 algorithm code documents its ordering requirements exactly where the real
 implementation needs fences (SSIII-E), and they charge the (tiny) fence
 cost.
+
+Happens-before contract (consumed by :mod:`repro.check.race`): a
+``P.SetFlag`` store is a *release* — everything the writer did before it
+becomes visible to any process whose ``P.WaitFlag`` observes (acquires)
+that value or a later one. Ordering shared-buffer accesses any other way
+(polling a data byte, sleeping) is a race by definition here.
 """
 
 from __future__ import annotations

@@ -16,7 +16,11 @@ import os
 import tempfile
 
 # Bump when simulator pricing changes invalidate cached latencies.
-SIM_VERSION = 1
+# Lint rule RC105 (repro.check.lint) enforces this: it fingerprints the
+# sim-semantics sources and fails when they change without a bump here.
+# After bumping, run `python -m repro check --update-fingerprint`.
+# 2: scatter gathers all ranks' acks at the root (release-protocol fix).
+SIM_VERSION = 2
 
 
 def cache_key(payload: dict) -> str:

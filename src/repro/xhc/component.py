@@ -629,8 +629,18 @@ class Xhc(CollComponent):
                                         led["avail"][root] + total)
             src = self._pub_fan[root]
             yield from ctx.smsc.copy_from(src.sub(me * block, block), rview)
-        # Hierarchical acknowledgment releases the root's buffer.
-        yield from self._finalize(comm, hier, me, led)
+        # Release: unlike the pipelined fan-out, *every* rank read the
+        # root's buffer directly, so the per-tree-edge acknowledgment of
+        # _finalize is not enough — the root would return after its direct
+        # children acked while grandchildren were still reading. The root
+        # must gather everyone's ack before its send buffer is reusable.
+        with comm.node.obs.span("xhc.finalize", rank=me):
+            if me == root:
+                for q in range(comm.size):
+                    if q != root:
+                        yield P.WaitFlag(self.ack[q], led["ack"][q] + 1)
+            else:
+                yield P.SetFlag(self.ack[me], led["ack"][me] + 1)
         self._update_fan_ledger(comm, hier, me, led, total)
 
     def allgather(self, comm, ctx, sview, rview) -> Iterator:

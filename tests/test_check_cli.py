@@ -1,0 +1,37 @@
+"""`python -m repro check` end-to-end (lint + sanitizer smoke)."""
+
+import json
+
+from repro.cli import main
+
+
+def test_check_lint_exits_zero_on_repo(capsys):
+    assert main(["check", "--lint"]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
+
+
+def test_check_lint_exits_nonzero_on_violation(tmp_path, capsys):
+    bad = tmp_path / "src" / "repro" / "sim" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import time\nimport random\n")
+    assert main(["check", "--lint", "--paths", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "RC101" in out and "RC102" in out
+
+
+def test_check_race_smoke_is_clean(capsys):
+    rc = main(["check", "--race", "--nranks", "4",
+               "--colls", "bcast", "--sizes", "256"])
+    assert rc == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_check_json_output(tmp_path):
+    out = tmp_path / "findings.json"
+    rc = main(["check", "--deadlock", "--nranks", "4",
+               "--colls", "bcast", "--sizes", "256",
+               "--json", str(out)])
+    assert rc == 0
+    payload = json.loads(out.read_text())
+    assert payload["findings"] == []

@@ -1,0 +1,147 @@
+"""Lint rules RC101-RC105 (repro.check.lint)."""
+
+import pytest
+
+from repro.check import lint
+from repro.check.lint import (check_fingerprint, compute_fingerprint,
+                              lint_file, run_lint, write_fingerprint)
+
+
+def _lint_src(tmp_path, rel, source):
+    """Drop ``source`` at ``tmp/<rel>`` and lint it as if the tmp dir
+    were the repo root (so ``src/repro/...`` paths count as in-package)."""
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    return lint_file(path, repo_root=tmp_path)
+
+
+def _rules(findings):
+    return [f.rule for f in findings]
+
+
+def test_rc101_wall_clock_in_sim_path(tmp_path):
+    findings = _lint_src(tmp_path, "src/repro/sim/x.py",
+                         "import time\nfrom datetime import datetime\n")
+    assert _rules(findings) == ["RC101", "RC101"]
+    assert "wall clock" in findings[0].message
+
+
+def test_rc101_not_applied_outside_package(tmp_path):
+    findings = _lint_src(tmp_path, "tests/helper.py", "import time\n")
+    assert findings == []
+
+
+def test_rc102_random(tmp_path):
+    src = ("import random\n"
+           "import numpy as np\n"
+           "def f():\n"
+           "    return np.random.rand()\n")
+    findings = _lint_src(tmp_path, "src/repro/xhc/x.py", src)
+    assert _rules(findings) == ["RC102", "RC102"]
+
+
+def test_rc103_mutable_default_everywhere(tmp_path):
+    src = ("def f(a, b=[]):\n    pass\n"
+           "def g(*, c={}):\n    pass\n"
+           "h = lambda x=set(): x\n"
+           "def ok(d=None, e=(), f=0):\n    pass\n")
+    findings = _lint_src(tmp_path, "tests/helper.py", src)
+    assert _rules(findings) == ["RC103", "RC103", "RC103"]
+
+
+def test_rc104_pokes_only_in_algorithm_scopes(tmp_path):
+    src = ("def f(flag, view):\n"
+           "    flag.value = 1\n"
+           "    view.array()[0:4] = 0\n")
+    findings = _lint_src(tmp_path, "src/repro/xhc/x.py", src)
+    assert _rules(findings) == ["RC104", "RC104"]
+    assert "SetFlag" in findings[0].message
+    # The engine/sync internals legitimately implement the pokes.
+    assert _lint_src(tmp_path, "src/repro/sync/x.py", src) == []
+
+
+def test_suppression_comment(tmp_path):
+    src = ("import time  # lint: disable=RC101\n"
+           "import random  # lint: disable=RC101, RC102\n")
+    findings = _lint_src(tmp_path, "src/repro/sim/x.py", src)
+    assert findings == []
+
+
+def test_suppression_is_per_rule(tmp_path):
+    src = "import time  # lint: disable=RC102\n"
+    findings = _lint_src(tmp_path, "src/repro/sim/x.py", src)
+    assert _rules(findings) == ["RC101"]
+
+
+def test_syntax_error_reported_not_raised(tmp_path):
+    findings = _lint_src(tmp_path, "src/repro/sim/x.py", "def f(:\n")
+    assert _rules(findings) == ["syntax"]
+
+
+def test_fingerprint_manifest_is_fresh():
+    """The committed manifest matches the sources and SIM_VERSION."""
+    assert check_fingerprint() == []
+
+
+def test_fingerprint_detects_unbumped_change(monkeypatch):
+    from repro.check import _sim_fingerprint as manifest
+    tampered = dict(manifest.FINGERPRINT)
+    tampered["sim/engine.py"] = "0" * 64
+    monkeypatch.setattr(manifest, "FINGERPRINT", tampered)
+    findings = check_fingerprint()
+    assert _rules(findings) == ["RC105"]
+    assert "bump" in findings[0].message
+    assert "sim/engine.py" in findings[0].message
+
+
+def test_fingerprint_detects_stale_manifest(monkeypatch):
+    monkeypatch.setattr(lint, "_current_sim_version", lambda: 9999)
+    findings = check_fingerprint()
+    assert _rules(findings) == ["RC105"]
+    assert "stale" in findings[0].message
+
+
+def test_write_fingerprint_roundtrip(tmp_path):
+    (tmp_path / "check").mkdir()
+    out = write_fingerprint(tmp_path)
+    assert out == tmp_path / "check" / "_sim_fingerprint.py"
+    ns = {}
+    exec(out.read_text(encoding="utf-8"), ns)
+    # tmp root has none of the watched files
+    assert set(ns["FINGERPRINT"]) == set(lint.SIM_FINGERPRINT_FILES)
+    assert all(v == "missing" for v in ns["FINGERPRINT"].values())
+
+
+def test_compute_fingerprint_ignores_formatting(tmp_path):
+    (tmp_path / "sim").mkdir(parents=True)
+    target = tmp_path / "sim" / "engine.py"
+    target.write_text("def f(x):\n    return x + 1\n")
+    for rel in lint.SIM_FINGERPRINT_FILES:
+        if rel != "sim/engine.py":
+            p = tmp_path / rel
+            p.parent.mkdir(parents=True, exist_ok=True)
+            p.write_text("")
+    before = compute_fingerprint(tmp_path)
+    # Comments and whitespace don't change the AST.
+    target.write_text("# a comment\ndef f(x):\n    return x + 1\n")
+    assert compute_fingerprint(tmp_path) == before
+    # A semantic change does.
+    target.write_text("def f(x):\n    return x + 2\n")
+    assert compute_fingerprint(tmp_path) != before
+
+
+def test_whole_tree_is_clean():
+    """Satellite requirement: the repo itself passes its own lint."""
+    report = run_lint()
+    assert report.ok, "\n".join(str(f) for f in report)
+
+
+def test_explicit_paths(tmp_path):
+    bad = tmp_path / "src" / "repro" / "sim" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import time\n")
+    report = run_lint(paths=[str(bad)], repo_root=tmp_path,
+                      fingerprint=False)
+    assert not report.ok
+    assert _rules(report) == ["RC101"]

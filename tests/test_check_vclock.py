@@ -1,0 +1,58 @@
+"""Vector-clock semantics (repro.check.vclock)."""
+
+from repro.check.vclock import VClock
+
+
+def test_tick_and_get():
+    vc = VClock()
+    assert vc.get(3) == 0
+    vc.tick(3)
+    vc.tick(3)
+    assert vc.get(3) == 2
+    assert vc.get(4) == 0
+
+
+def test_join_takes_componentwise_max():
+    a = VClock({1: 5, 2: 1})
+    b = VClock({2: 7, 3: 2})
+    a.join(b)
+    assert a.get(1) == 5
+    assert a.get(2) == 7
+    assert a.get(3) == 2
+    # b is untouched
+    assert b.get(1) == 0
+
+
+def test_copy_is_independent():
+    a = VClock({1: 1})
+    b = a.copy()
+    b.tick(1)
+    assert a.get(1) == 1
+    assert b.get(1) == 2
+
+
+def test_happened_before_epoch_rule():
+    reader = VClock({1: 3, 2: 9})
+    # An access stamped (pid=2, epoch<=9) is ordered before the reader.
+    assert reader.happened_before(2, 9)
+    assert reader.happened_before(2, 1)
+    assert not reader.happened_before(2, 10)
+    assert not reader.happened_before(7, 1)
+
+
+def test_equality_ignores_zero_components():
+    assert VClock({1: 2, 5: 0}) == VClock({1: 2})
+    assert VClock({1: 2}) != VClock({1: 3})
+
+
+def test_release_acquire_transfers_order():
+    """The protocol the race checker runs: release joins writer into the
+    sync clock and ticks; acquire joins the sync clock into the reader."""
+    writer, flag, reader = VClock({1: 1}), VClock(), VClock({2: 1})
+    write_epoch = writer.get(1)
+    flag.join(writer)      # release
+    writer.tick(1)
+    reader.join(flag)      # acquire
+    assert reader.happened_before(1, write_epoch)
+    # Writer work done *after* the release is not ordered:
+    assert not reader.happened_before(1, writer.get(1))
