@@ -10,27 +10,58 @@ Front-door API::
     world = World(node, 64)
     comm = world.communicator(Xhc())
 
-See README.md for the architecture overview, DESIGN.md for the experiment
-index, and EXPERIMENTS.md for paper-vs-measured results.
+Sweeps go through the shared executor::
+
+    from repro import Executor, RunRequest, run_many
+
+    reqs = [RunRequest("epyc-1p", "bcast", size, 32) for size in sizes]
+    with Executor(workers=4, cache="results/cache/sim_cache.json") as ex:
+        results = ex.run_many(reqs)
+
+``__all__`` below is the supported public surface; everything else may
+move between minor versions (docs/api.md documents the deprecation
+policy). See README.md for the architecture overview, DESIGN.md for the
+experiment index, and EXPERIMENTS.md for paper-vs-measured results.
 """
 
+from .options import RunOptions
 from .node import Node
 from .topology import get_system, build_symmetric
 from .mpi import World
 from .xhc import Xhc, XhcConfig
+from .exec import (Executor, ResultCache, RunRequest, RunResult, run,
+                   run_inline, run_many, using_executor)
+from . import bench
 from . import check
+from . import exec  # noqa: A004 - module re-export  # pylint: disable=W0622
 from . import obs
+from . import tune
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # core objects
     "Node",
+    "RunOptions",
     "World",
     "Xhc",
     "XhcConfig",
-    "check",
     "get_system",
     "build_symmetric",
+    # the run API
+    "Executor",
+    "ResultCache",
+    "RunRequest",
+    "RunResult",
+    "run",
+    "run_inline",
+    "run_many",
+    "using_executor",
+    # subsystem modules
+    "bench",
+    "check",
+    "exec",
     "obs",
+    "tune",
     "__version__",
 ]

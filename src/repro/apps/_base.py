@@ -7,6 +7,7 @@ from typing import Callable
 
 from ..mpi import World
 from ..node import Node
+from ..options import RunOptions
 from ..shmem.smsc import SmscConfig
 from ..topology import get_system
 
@@ -46,7 +47,7 @@ def run_app(
     iterations than the real apps, so they must not pay it up front)."""
     topo = get_system(system)
     n = topo.n_cores if nranks is None else nranks
-    node = Node(topo, data_movement=False)
+    node = Node(topo, options=RunOptions(data_movement=False))
     world = World(node, n, smsc=SmscConfig())
     comm = world.communicator(component_factory())
     coll_times: list[float] = []

@@ -13,8 +13,10 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..apps import run_cntk, run_miniamr, run_pisvm
+from ..exec import RunRequest, run_many
 from ..mpi import World
 from ..node import Node
+from ..options import RunOptions
 from ..shmem.smsc import SmscConfig
 from ..sim import primitives as P
 from ..sim.syncobj import Flag
@@ -22,8 +24,7 @@ from ..topology import Distance, classify_distance, get_system
 from ..topology.distance import message_distance_label
 from ..topology.objects import ObjKind
 from .components import COMPONENTS, component_names, make_component
-from .osu import (DEFAULT_SIZES, OsuSeries, osu_allreduce, osu_bcast,
-                  osu_latency, run_collective)
+from .osu import DEFAULT_SIZES, OsuSeries, osu_allreduce, osu_bcast
 from .report import render_rows, render_series_table
 
 QUICK_SIZES = (4, 256, 4096, 65536, 1048576)
@@ -124,18 +125,29 @@ def _pair_at_distance(system: str, dist: Distance) -> tuple[int, int] | None:
     return None
 
 
+def _pingpong_request(system, pair, size, *, smsc=None, **iters) -> RunRequest:
+    return RunRequest(system=system, collective="pingpong", size=size,
+                      nranks=2, component="tuned", mapping=pair,
+                      smsc=smsc, **iters)
+
+
 def fig1a_domains(quick: bool = False, size: int = 1 << 20) -> FigureResult:
-    rows = []
-    data: dict = {}
+    cells = []
     for system in ("epyc-1p", "epyc-2p", "arm-n1"):
         for dist in (Distance.CACHE_LOCAL, Distance.INTRA_NUMA,
                      Distance.CROSS_NUMA, Distance.CROSS_SOCKET):
             pair = _pair_at_distance(system, dist)
             if pair is None:
                 continue
-            lat = osu_latency(system, pair, size, **_iters(quick))
-            rows.append([system, dist.label, lat * 1e6])
-            data[(system, dist.label)] = lat
+            cells.append((system, dist.label,
+                          _pingpong_request(system, pair, size,
+                                            **_iters(quick))))
+    results = run_many([req for _, _, req in cells])
+    rows = []
+    data: dict = {}
+    for (system, label, _req), res in zip(cells, results):
+        rows.append([system, label, res.latency_s * 1e6])
+        data[(system, label)] = res.latency_s
     text = render_rows("Fig. 1a — One-way latency (1 MB) across domains",
                        ["system", "domain", "latency_us"], rows)
     return FigureResult("fig1a", text, data)
@@ -154,7 +166,8 @@ def fig1b_congestion(quick: bool = False, size: int = 1 << 20,
     data: dict = {}
     for scheme in ("flat", "hierarchical"):
         for n in counts:
-            node = Node(get_system("epyc-1p"), data_movement=False)
+            node = Node(get_system("epyc-1p"),
+                        options=RunOptions(data_movement=False))
             spaces = [node.new_address_space(r, r) for r in range(n)]
             src_buf = spaces[0].alloc("src", size)
             bufs = [sp.alloc("dst", size) for sp in spaces]
@@ -218,16 +231,20 @@ FIG3_SIZES = (16384, 65536, 262144, 1048576, 4194304)
 
 def fig3_mechanisms(quick: bool = False) -> FigureResult:
     sizes = FIG3_SIZES if not quick else (65536, 1048576)
+    p2p_requests = [
+        _pingpong_request("epyc-2p", (0, 8), size, smsc=cfg, **_iters(quick))
+        for cfg in MECH_CONFIGS.values() for size in sizes
+    ]
+    p2p_results = iter(run_many(p2p_requests))
     p2p_series = []
     bc_series = []
     for mech, cfg in MECH_CONFIGS.items():
         s = OsuSeries(label=mech)
         for size in sizes:
-            s.add(size, osu_latency("epyc-2p", (0, 8), size, smsc=cfg,
-                                    **_iters(quick)))
+            s.add(size, next(p2p_results).latency_s)
         p2p_series.append(s)
         bc_series.append(osu_bcast(
-            "epyc-2p", 64 if not quick else 32, COMPONENTS["tuned"],
+            "epyc-2p", 64 if not quick else 32, "tuned",
             sizes=sizes, label=mech, smsc=cfg, **_iters(quick)))
     text = (render_series_table(
         "Fig. 3a — Point-to-point latency (us) by copy mechanism (Epyc-2P)",
@@ -245,14 +262,18 @@ def fig3_mechanisms(quick: bool = False) -> FigureResult:
 
 def fig4_atomics(quick: bool = False, size: int = 4) -> FigureResult:
     counts = (10, 20, 40, 80, 120, 160) if not quick else (10, 80, 160)
+    schemes = (("single-writer", "smhc-flat"), ("atomics", "sm"))
+    results = iter(run_many([
+        RunRequest(system="arm-n1", collective="bcast", size=size,
+                   nranks=n, component=comp, **_iters(quick))
+        for _label, comp in schemes for n in counts
+    ]))
     series = []
     data: dict = {}
-    for label, comp in (("single-writer", COMPONENTS["smhc-flat"]),
-                        ("atomics", COMPONENTS["sm"])):
+    for label, _comp in schemes:
         s = OsuSeries(label=label)
         for n in counts:
-            lat = run_collective("bcast", "arm-n1", n, comp, size,
-                                 **_iters(quick))
+            lat = next(results).latency_s
             s.add(n, lat)
             data[(label, n)] = lat
         series.append(s)
@@ -273,7 +294,7 @@ def fig7_osu_variants(quick: bool = False) -> FigureResult:
     for hierarchy, hname in (("flat", "flat"), ("numa+socket", "tree")):
         for modify, mname in ((False, "osu_bcast"), (True, "osu_bcast_mb")):
             series.append(osu_bcast(
-                "epyc-2p", n, COMPONENTS[f"xhc-{hname}"], sizes=sizes,
+                "epyc-2p", n, f"xhc-{hname}", sizes=sizes,
                 label=f"{hname}/{mname}", modify=modify, **_iters(quick)))
     text = render_series_table(
         "Fig. 7 — osu_bcast variants, XHC flat vs tree (Epyc-2P, us)",
@@ -290,7 +311,7 @@ def _component_sweep(kind: str, system: str, quick: bool) -> FigureResult:
     names = component_names(kind, system)
     runner = osu_bcast if kind == "bcast" else osu_allreduce
     series = [
-        runner(system, n, COMPONENTS[name], sizes=sizes, label=name,
+        runner(system, n, name, sizes=sizes, label=name,
                **_iters(quick))
         for name in names
     ]
@@ -319,11 +340,11 @@ def fig9_layout_root(quick: bool = False) -> FigureResult:
     for comp in ("tuned", "xhc-tree"):
         for mapping in ("core", "numa"):
             series.append(osu_bcast(
-                "epyc-2p", n, COMPONENTS[comp], sizes=sizes,
+                "epyc-2p", n, comp, sizes=sizes,
                 label=f"{comp}/map-{mapping}", mapping=mapping,
                 **_iters(quick)))
         series.append(osu_bcast(
-            "epyc-2p", n, COMPONENTS[comp], sizes=sizes,
+            "epyc-2p", n, comp, sizes=sizes,
             label=f"{comp}/root10", root=10 % n, **_iters(quick)))
     text = render_series_table(
         "Fig. 9 — Broadcast under rank layouts and root ranks "
@@ -333,7 +354,7 @@ def fig9_layout_root(quick: bool = False) -> FigureResult:
 
 def _count_messages(system: str, nranks: int, component: str, mapping,
                     root: int, size: int = 1 << 20) -> dict[str, int]:
-    node = Node(get_system(system), data_movement=False)
+    node = Node(get_system(system), options=RunOptions(data_movement=False))
     world = World(node, nranks, mapping=mapping)
     comm = world.communicator(make_component(component))
 
@@ -382,15 +403,13 @@ def table2_message_counts(quick: bool = False) -> FigureResult:
 
 
 def fig10_cacheline(quick: bool = False) -> FigureResult:
-    from ..xhc import Xhc
     sizes = (4, 16, 64, 256, 1024) if not quick else (4, 256)
     series = []
     for hierarchy, hname in (("flat", "flat"), ("numa+socket", "tree")):
         for layout in ("multi-shared", "multi-separate"):
-            factory = (lambda h=hierarchy, l=layout:
-                       Xhc(hierarchy=h, flag_layout=l))
+            spec = ("xhc", {"hierarchy": hierarchy, "flag_layout": layout})
             series.append(osu_bcast(
-                "epyc-1p", 32, factory, sizes=sizes,
+                "epyc-1p", 32, spec, sizes=sizes,
                 label=f"{hname}/{layout.split('-')[1]}", **_iters(quick)))
     text = render_series_table(
         "Fig. 10 — Broadcast: flag cache-line sharing schemes "

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..mpi import FLOAT, SUM, World
 from ..node import Node
+from ..options import RunOptions
 from ..shmem.smsc import SmscConfig
 from ..sim import primitives as P
 from ..topology import get_system
@@ -60,11 +61,14 @@ def run_collective(
     root: int = 0,
     smsc: SmscConfig | None = None,
     data_movement: bool = False,
+    options: RunOptions | None = None,
     node: Node | None = None,
 ) -> float:
     """One (configuration, size) cell: mean per-rank collective latency."""
     if node is None:
-        node = Node(get_system(system), data_movement=data_movement)
+        if options is None:
+            options = RunOptions(data_movement=data_movement)
+        node = Node(get_system(system), options=options)
     world = World(node, nranks, mapping=mapping, smsc=smsc)
     comm = world.communicator(component_factory())
     samples: list[float] = []
@@ -142,24 +146,64 @@ def run_collective(
     return float(np.mean(samples))
 
 
-def _sweep(kind, system, nranks, component_factory, sizes, label,
-           **kw) -> OsuSeries:
+def _component_spec(component) -> "tuple[str, dict | None] | None":
+    """Normalize a sweep's component argument into (name, config).
+
+    Accepts a registry name (``"xhc-tree"``), a ``(name, config_dict)``
+    pair, or — the legacy form — an arbitrary factory callable, for which
+    ``None`` is returned: un-addressable components cannot go through the
+    executor's cache, so they run inline.
+    """
+    if isinstance(component, str):
+        return component, None
+    if isinstance(component, tuple) and len(component) == 2 \
+            and isinstance(component[0], str):
+        return component[0], dict(component[1])
+    return None
+
+
+def _sweep(kind, system, nranks, component, sizes, label,
+           executor=None, **kw) -> OsuSeries:
+    """Sweep ``sizes`` through :mod:`repro.exec` (parallel + cached when
+    the ambient executor says so); factory callables fall back to the
+    inline loop."""
+    spec = _component_spec(component)
     series = OsuSeries(label=label)
-    for size in sizes:
-        series.add(size, run_collective(kind, system, nranks,
-                                        component_factory, size, **kw))
+    if spec is None:
+        for size in sizes:
+            series.add(size, run_collective(kind, system, nranks,
+                                            component, size, **kw))
+        return series
+    from .. import exec as exec_mod
+    name, config = spec
+    requests = [
+        exec_mod.RunRequest(
+            system=system, collective=kind, size=size, nranks=nranks,
+            component=name, config=config,
+            warmup=kw.get("warmup", 1), iters=kw.get("iters", 5),
+            modify=kw.get("modify", True), mapping=kw.get("mapping", "core"),
+            root=kw.get("root", 0), smsc=kw.get("smsc"),
+            options=kw.get("options") or RunOptions(
+                data_movement=kw.get("data_movement", False)),
+        )
+        for size in sizes
+    ]
+    for size, result in zip(sizes, exec_mod.run_many(requests,
+                                                     executor=executor)):
+        if result is not None and result.latency_s is not None:
+            series.add(size, result.latency_s)
     return series
 
 
-def osu_bcast(system, nranks, component_factory, sizes=DEFAULT_SIZES,
+def osu_bcast(system, nranks, component, sizes=DEFAULT_SIZES,
               label="bcast", **kw) -> OsuSeries:
-    return _sweep("bcast", system, nranks, component_factory, sizes, label,
+    return _sweep("bcast", system, nranks, component, sizes, label,
                   **kw)
 
 
-def osu_allreduce(system, nranks, component_factory, sizes=DEFAULT_SIZES,
+def osu_allreduce(system, nranks, component, sizes=DEFAULT_SIZES,
                   label="allreduce", **kw) -> OsuSeries:
-    return _sweep("allreduce", system, nranks, component_factory, sizes,
+    return _sweep("allreduce", system, nranks, component, sizes,
                   label, **kw)
 
 
@@ -172,9 +216,12 @@ def osu_latency(
     iters: int = 5,
     smsc: SmscConfig | None = None,
     modify: bool = True,
+    node: Node | None = None,
 ) -> float:
     """Ping-pong one-way latency between two pinned ranks (osu_latency)."""
-    node = Node(get_system(system), data_movement=False)
+    if node is None:
+        node = Node(get_system(system),
+                    options=RunOptions(data_movement=False))
     world = World(node, 2, mapping=list(cores), smsc=smsc)
     from ..mpi.colls import Tuned
     comm = world.communicator(Tuned())

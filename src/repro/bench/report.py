@@ -105,11 +105,14 @@ def rows_table_json(title: str, headers: Sequence[str],
 def bench_trajectory_json(tag: str, title: str,
                           series: Sequence[OsuSeries], *,
                           system: str, collective: str, nranks: int,
-                          warmup: int, iters: int) -> dict:
+                          warmup: int, iters: int,
+                          exec_info: dict | None = None) -> dict:
     """The ``BENCH_<n>.json`` perf-trajectory payload: one record per PR,
     with enough run parameters that a later session can re-run the exact
-    sweep and regress against these numbers."""
-    return {
+    sweep and regress against these numbers. ``exec_info`` (executor
+    stats, wall times) rides along when the sweep went through
+    :mod:`repro.exec`."""
+    payload = {
         "bench_schema": 1,
         "tag": tag,
         "title": title,
@@ -130,6 +133,29 @@ def bench_trajectory_json(tag: str, title: str,
             for ser in series
         ],
     }
+    if exec_info is not None:
+        payload["exec"] = exec_info
+    return payload
+
+
+def next_bench_path(directory: str | os.PathLike = ".") -> str:
+    """The next free ``BENCH_<n>.json`` path in ``directory``.
+
+    Scans existing ``BENCH_*.json`` names and returns one past the highest
+    index, so every ``--emit-bench`` run appends to the perf trajectory
+    instead of overwriting the previous record.
+    """
+    import re
+
+    directory = os.fspath(directory)
+    highest = -1
+    for name in os.listdir(directory or "."):
+        m = re.fullmatch(r"BENCH_(\d+)\.json", name)
+        if m:
+            highest = max(highest, int(m.group(1)))
+    filename = f"BENCH_{highest + 1}.json"
+    return filename if directory in ("", ".") else \
+        os.path.join(directory, filename)
 
 
 def write_json(path: str | os.PathLike, payload: dict) -> None:

@@ -21,7 +21,7 @@ eroded:
 * **RC105** — engine-semantics changes require a ``SIM_VERSION`` bump:
   the watched sim-path sources are fingerprinted (AST dump, so comments
   and formatting don't count) into ``_sim_fingerprint.py``; if they
-  changed without bumping :data:`repro.tune.cache.SIM_VERSION`, stale
+  changed without bumping :data:`repro.exec.cache.SIM_VERSION`, stale
   autotuning tables would silently survive. Regenerate with
   ``python -m repro check --update-fingerprint`` after bumping.
 
@@ -224,7 +224,7 @@ def compute_fingerprint(pkg_root: Path | None = None) -> dict[str, str]:
 
 
 def _current_sim_version() -> int:
-    from ..tune.cache import SIM_VERSION
+    from ..exec.cache import SIM_VERSION
     return SIM_VERSION
 
 
@@ -247,7 +247,7 @@ def check_fingerprint(pkg_root: Path | None = None) -> list[Finding]:
             kind="lint", rule="RC105", where=changed[0],
             message=(f"sim semantics changed ({', '.join(changed)}) but "
                      f"SIM_VERSION is still {version}; bump "
-                     f"repro.tune.cache.SIM_VERSION and run "
+                     f"repro.exec.cache.SIM_VERSION and run "
                      f"'python -m repro check --update-fingerprint'")))
     elif changed or version != manifest.SIM_VERSION:
         findings.append(Finding(

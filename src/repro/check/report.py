@@ -50,6 +50,21 @@ class Finding:
             out["extra"] = self.extra
         return out
 
+    @classmethod
+    def from_dict(cls, d: dict) -> "Finding":
+        """Inverse of :meth:`to_dict` — findings cross process boundaries
+        as dicts on :class:`~repro.exec.RunResult` values."""
+        return cls(
+            kind=d["kind"],
+            message=d["message"],
+            where=d.get("where"),
+            procs=tuple(d.get("procs", ())),
+            time=d.get("time"),
+            span=d.get("span"),
+            rule=d.get("rule"),
+            extra=dict(d.get("extra", {})),
+        )
+
     def __str__(self) -> str:
         head = f"[{self.rule or self.kind}]"
         loc = f" {self.where}:" if self.where else ""

@@ -1,19 +1,20 @@
 """One-shot sanitized runs: the engine behind ``python -m repro check``.
 
-Runs collectives on a fresh node with the dynamic sanitizer (and span
-tracing, so findings carry phase context) and aggregates everything into
-one :class:`~repro.check.report.CheckReport`. Mirrors
-:mod:`repro.obs.runner` — a check wants fresh happens-before state per
-operation, so each (collective, size) point gets its own node.
+Runs collectives with the dynamic sanitizer (and span tracing, so findings
+carry phase context) and aggregates everything into one
+:class:`~repro.check.report.CheckReport`. Sweep points go through
+:mod:`repro.exec` as instrumented :class:`~repro.exec.RunRequest` values —
+instrumented runs bypass the result cache (their product is the findings,
+not the latency) but still parallelize across the worker pool, and each
+point gets a fresh node so happens-before state never leaks between
+operations.
 """
 
 from __future__ import annotations
 
 from typing import Iterable
 
-from ..errors import DeadlockError
-from ..node import Node
-from ..topology import get_system
+from ..options import RunOptions
 from .report import CheckReport, Finding
 
 DEFAULT_COLLS = ("bcast", "allreduce")
@@ -29,40 +30,50 @@ def run_sanitized(
     check: str = "full",
     root: int = 0,
     iters: int = 2,
+    workers: int | None = 0,
 ) -> CheckReport:
-    """Run each (collective, size) point under ``Node(check=...)``.
+    """Run each (collective, size) point under ``RunOptions(check=...)``.
 
     Data movement is off (the sanitizer tracks ranges, not bytes) and
-    spans are on so findings name the collective phase. A deadlock raise
-    is caught and reported as a finding rather than aborting the sweep.
+    spans are on so findings name the collective phase. A deadlock is
+    reported as a finding rather than aborting the sweep. ``workers``
+    follows :class:`~repro.exec.Executor` semantics (0 = inline, the
+    default); the ambient executor is deliberately *not* used because its
+    instrumentation-free options would not carry the sanitizer.
     """
-    from ..bench.components import COMPONENTS
-    from ..bench.osu import run_collective
+    from .. import exec as exec_mod
+    from ..topology import get_system
 
     if component == "xhc":
         component = "xhc-tree"
-    factory = COMPONENTS[component]
-    topo = get_system(system)
     if nranks is None:
-        nranks = topo.n_cores
+        nranks = get_system(system).n_cores
+    options = RunOptions(data_movement=False, observe="spans", check=check)
+    requests = [
+        exec_mod.RunRequest(
+            system=system, collective=coll, size=max(size, 1), nranks=nranks,
+            component=component, warmup=0, iters=iters, modify=True,
+            root=root, options=options)
+        for coll in colls for size in sizes
+    ]
+    points = [(coll, size) for coll in colls for size in sizes]
+    with exec_mod.Executor(workers=workers) as executor:
+        results = executor.run_many(requests)
     report = CheckReport()
-    for coll in colls:
-        for size in sizes:
-            node = Node(topo, data_movement=False, observe="spans",
-                        check=check)
-            try:
-                run_collective(coll, system, nranks, factory, max(size, 1),
-                               warmup=0, iters=iters, modify=True,
-                               root=root, node=node)
-            except DeadlockError as exc:
-                report.add(Finding(
-                    kind="deadlock",
-                    message=f"{coll}/{size}B on {system}: {exc}",
-                    extra={"coll": coll, "size": size,
-                           "cycle": list(exc.cycle)},
-                ))
-            for finding in node.check_report:
-                finding.extra.setdefault("coll", coll)
-                finding.extra.setdefault("size", size)
-                report.add(finding)
+    for (coll, size), result in zip(points, results):
+        if result is None:
+            continue
+        if result.error is not None:
+            report.add(Finding(
+                kind="deadlock",
+                message=f"{coll}/{size}B on {system}: "
+                        f"{result.error['message']}",
+                extra={"coll": coll, "size": size,
+                       "cycle": list(result.error.get("cycle", ()))},
+            ))
+        for fd in result.findings:
+            finding = Finding.from_dict(fd)
+            finding.extra.setdefault("coll", coll)
+            finding.extra.setdefault("size", size)
+            report.add(finding)
     return report

@@ -12,6 +12,18 @@ Commands
              (see docs/observability.md)
 ``check``    correctness tooling: AST lint over the tree and/or the
              race/deadlock sanitizer over an OSU sweep (docs/checking.md)
+
+Exit codes (stable — CI and scripts rely on them)
+-------------------------------------------------
+
+``0``  success; for ``check``, a clean report
+``1``  the command ran but reported findings or a failure
+``2``  usage error (unknown figure/flag; argparse errors land here too)
+
+Sweeping commands (``bench``, ``figure``, ``check``) accept ``--parallel
+N`` to fan simulations out over N worker processes and (``bench``,
+``figure``) ``--cache [PATH]`` to answer repeated sweeps from the
+persistent result store (see docs/api.md).
 """
 
 from __future__ import annotations
@@ -22,8 +34,8 @@ import sys
 from . import bench as bench_mod
 from .bench.components import COMPONENTS, component_names
 from .bench.osu import DEFAULT_SIZES, osu_allreduce, osu_bcast
-from .bench.report import (bench_trajectory_json, render_rows,
-                           render_series_table, rows_table_json,
+from .bench.report import (bench_trajectory_json, next_bench_path,
+                           render_rows, render_series_table, rows_table_json,
                            series_table_json, write_json)
 from .topology import get_system
 from .topology.io import load_topology
@@ -57,6 +69,71 @@ def _resolve_topology(args):
     return get_system(args.system)
 
 
+# -- shared flag groups ------------------------------------------------------
+#
+# The same flags used to be copy-pasted into every subparser (and drifted:
+# help strings, defaults). Each builder returns a fresh ``add_help=False``
+# parent parser; subcommands compose the groups they need via
+# ``parents=[...]``.
+
+
+def _system_flags(default: str = "epyc-1p") -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument("--system", default=default,
+                   help=f"target system codename (default: {default})")
+    return p
+
+
+def _json_flags(help: str = "also write machine-readable JSON here") \
+        -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument("--json", help=help)
+    return p
+
+
+def _out_flags(help: str, default: str | None = None) \
+        -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument("--out", default=default, help=help)
+    return p
+
+
+def _exec_flags(with_cache: bool = True) -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument("--parallel", type=int, default=0, metavar="N",
+                   help="simulation worker processes (0 = inline, the "
+                        "default; negative = pick from CPU count)")
+    if with_cache:
+        from .exec import DEFAULT_CACHE_PATH
+        p.add_argument("--cache", nargs="?", const=DEFAULT_CACHE_PATH,
+                       metavar="PATH",
+                       help="persist results in a content-addressed cache "
+                            f"(bare flag: {DEFAULT_CACHE_PATH})")
+    return p
+
+
+def _make_executor(args):
+    """An :class:`~repro.exec.Executor` configured from shared flags."""
+    from .exec import Executor
+    workers = None if args.parallel < 0 else args.parallel
+    progress = None
+    if workers != 0:
+        def progress(msg):
+            print(f"[{msg}]", flush=True)
+    return Executor(workers=workers, cache=getattr(args, "cache", None),
+                    progress=progress)
+
+
+def _print_exec_stats(executor, wall_s: float) -> None:
+    """One greppable accounting line per sweep (CI matches on it)."""
+    stats = executor.stats()
+    hits = stats["cache_hits"]
+    total = hits + stats["cache_misses"]
+    rate = 100 * hits / total if total else 0.0
+    print(f"[simulations: {stats['simulations']} new, {hits} cached "
+          f"(hit rate {rate:.0f}%), wall {wall_s:.2f}s]")
+
+
 def cmd_topo(args) -> int:
     topo = _resolve_topology(args)
     print(topo.describe())
@@ -76,32 +153,43 @@ def cmd_topo(args) -> int:
 
 
 def cmd_bench(args) -> int:
+    import time  # lint: disable=RC101  (wall time of the sweep, not sim)
+
+    from .exec import using_executor
+
     names = (args.components.split(",") if args.components
              else component_names(args.collective, args.system))
     sizes = (tuple(int(s) for s in args.sizes.split(","))
              if args.sizes else DEFAULT_SIZES)
     nranks = args.nranks or get_system(args.system).n_cores
     runner = osu_bcast if args.collective == "bcast" else osu_allreduce
-    series = [
-        runner(args.system, nranks, COMPONENTS[name], sizes=sizes,
-               label=name, warmup=args.warmup, iters=args.iters)
-        for name in names
-    ]
+    t0 = time.perf_counter()
+    with _make_executor(args) as executor, using_executor(executor):
+        series = [
+            runner(args.system, nranks, name, sizes=sizes,
+                   label=name, warmup=args.warmup, iters=args.iters)
+            for name in names
+        ]
+        wall = time.perf_counter() - t0
+        stats = executor.stats()
     title = (f"MPI_{args.collective.capitalize()} on {args.system} "
              f"({nranks} ranks, us)")
     print(render_series_table(title, series))
+    _print_exec_stats(executor, wall)
     if args.json:
         write_json(args.json, series_table_json(title, series))
         print(f"\n[wrote JSON table to {args.json}]")
-    if args.emit_bench:
+    if args.emit_bench is not None:
         import os
-        tag = os.path.splitext(os.path.basename(args.emit_bench))[0]
+        path = args.emit_bench or next_bench_path()
+        tag = os.path.splitext(os.path.basename(path))[0]
         payload = bench_trajectory_json(
             tag, title, series, system=args.system,
             collective=args.collective, nranks=nranks,
-            warmup=args.warmup, iters=args.iters)
-        write_json(args.emit_bench, payload)
-        print(f"\n[wrote bench trajectory to {args.emit_bench}]")
+            warmup=args.warmup, iters=args.iters,
+            exec_info={**stats, "wall_s": wall})
+        write_json(path, payload)
+        print(f"\n[wrote bench trajectory to {path}]")
     return 0
 
 
@@ -131,14 +219,22 @@ def cmd_trace(args) -> int:
 
 
 def cmd_figure(args) -> int:
+    import time  # lint: disable=RC101  (wall time of the sweep, not sim)
+
+    from .exec import using_executor
+
     try:
         fn = FIGURES[args.name]
     except KeyError:
         print(f"unknown figure {args.name!r}; available: "
               f"{', '.join(sorted(FIGURES))}", file=sys.stderr)
         return 2
-    result = fn(args.quick)
+    t0 = time.perf_counter()
+    with _make_executor(args) as executor, using_executor(executor):
+        result = fn(args.quick)
+        wall = time.perf_counter() - t0
     print(result.text)
+    _print_exec_stats(executor, wall)
     if args.csv:
         result.write_csv(args.csv)
         print(f"\n[wrote {len(result.to_records())} records to {args.csv}]")
@@ -275,8 +371,10 @@ def cmd_check(args) -> int:
         colls = args.colls.split(",") if args.colls else None
         sizes = (tuple(int(s) for s in args.sizes.split(","))
                  if args.sizes else None)
+        workers = None if args.parallel < 0 else args.parallel
         kwargs = dict(system=args.system, nranks=args.nranks,
-                      component=args.component, check=mode)
+                      component=args.component, check=mode,
+                      workers=workers)
         if colls:
             kwargs["colls"] = colls
         if sizes:
@@ -311,23 +409,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--root", type=int, default=0)
     p.set_defaults(fn=cmd_topo)
 
-    p = sub.add_parser("bench", help="component sweep for one collective")
+    p = sub.add_parser("bench", help="component sweep for one collective",
+                       parents=[_system_flags(),
+                                _json_flags("also write the table as JSON "
+                                            "here"),
+                                _exec_flags()])
     p.add_argument("collective", choices=["bcast", "allreduce"])
-    p.add_argument("--system", default="epyc-1p")
     p.add_argument("--nranks", type=int)
     p.add_argument("--components", help="comma-separated (default: paper set)")
     p.add_argument("--sizes", help="comma-separated bytes")
     p.add_argument("--warmup", type=int, default=1)
     p.add_argument("--iters", type=int, default=3)
-    p.add_argument("--json", help="also write the table as JSON here")
-    p.add_argument("--emit-bench", nargs="?", const="BENCH_2.json",
-                   help="write the perf-trajectory record (default path "
-                        "BENCH_2.json)")
+    p.add_argument("--emit-bench", nargs="?", const="", default=None,
+                   metavar="PATH",
+                   help="write the perf-trajectory record (bare flag picks "
+                        "the next free BENCH_<n>.json)")
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser(
-        "trace", help="observed single run: critical path + Perfetto JSON")
-    p.add_argument("--system", default="epyc-1p")
+        "trace", help="observed single run: critical path + Perfetto JSON",
+        parents=[_system_flags(),
+                 _json_flags("also write the critical-path report here"),
+                 _out_flags("Chrome-trace JSON path (default "
+                            "results/trace_<system>_<coll>.json)")])
     p.add_argument("--coll", default="bcast",
                    choices=["bcast", "allreduce", "reduce", "barrier",
                             "gather", "alltoall"])
@@ -336,22 +440,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--component", default="xhc-tree",
                    help="component name ('xhc' aliases xhc-tree)")
     p.add_argument("--root", type=int, default=0)
-    p.add_argument("--out", help="Chrome-trace JSON path (default "
-                                 "results/trace_<system>_<coll>.json)")
     p.add_argument("--steps", action="store_true",
                    help="print every critical-path segment")
-    p.add_argument("--json", help="also write the critical-path report here")
     p.set_defaults(fn=cmd_trace)
 
-    p = sub.add_parser("figure", help="regenerate a paper figure/table")
+    p = sub.add_parser("figure", help="regenerate a paper figure/table",
+                       parents=[_json_flags("also write the records as JSON "
+                                            "here"),
+                                _exec_flags()])
     p.add_argument("name", help=f"one of: {', '.join(sorted(FIGURES))}")
     p.add_argument("--quick", action="store_true")
     p.add_argument("--csv", help="also write machine-readable records here")
-    p.add_argument("--json", help="also write the records as JSON here")
     p.set_defaults(fn=cmd_figure)
 
     p = sub.add_parser(
-        "tune", help="autotune XHC configs into a decision table")
+        "tune", help="autotune XHC configs into a decision table",
+        parents=[_json_flags("also write the full tuning report here"),
+                 _out_flags("decision table path",
+                            default="results/tuned/decision_table.json")])
     p.add_argument("--systems",
                    help="comma-separated (default: all three modeled)")
     p.add_argument("--collectives", help="comma-separated (default: "
@@ -369,14 +475,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "the output table")
     p.add_argument("--workers", type=int,
                    help="simulation processes (0 = inline)")
-    p.add_argument("--out", default="results/tuned/decision_table.json")
     p.add_argument("--cache", default="results/tuned/cache.json")
-    p.add_argument("--json", help="also write the full tuning report here")
     p.set_defaults(fn=cmd_tune)
 
     p = sub.add_parser(
         "check", help="lint the tree and/or sanitize collectives "
-                      "(race/deadlock); no selector runs both")
+                      "(race/deadlock); no selector runs both",
+        parents=[_system_flags(),
+                 _json_flags("write findings as JSON here"),
+                 _exec_flags(with_cache=False)])
     p.add_argument("--lint", action="store_true",
                    help="static AST lint only")
     p.add_argument("--race", action="store_true",
@@ -386,7 +493,6 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--paths", nargs="*",
                    help="files/dirs to lint (default: package + tests + "
                         "benchmarks)")
-    p.add_argument("--system", default="epyc-1p")
     p.add_argument("--nranks", type=int,
                    help="ranks for the sanitizer sweep (default: all cores)")
     p.add_argument("--component", default="xhc-tree")
@@ -397,12 +503,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--update-fingerprint", action="store_true",
                    help="regenerate the RC105 sim-semantics fingerprint "
                         "manifest (run after bumping SIM_VERSION)")
-    p.add_argument("--json", help="write findings as JSON here")
     p.set_defaults(fn=cmd_check)
 
-    p = sub.add_parser("app", help="run an application skeleton")
+    p = sub.add_parser("app", help="run an application skeleton",
+                       parents=[_system_flags()])
     p.add_argument("app", choices=["pisvm", "miniamr", "cntk"])
-    p.add_argument("--system", default="epyc-1p")
     p.add_argument("--nranks", type=int)
     p.add_argument("--components")
     p.add_argument("--config", default="default",

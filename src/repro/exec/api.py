@@ -1,0 +1,37 @@
+"""Convenience entry points over the ambient executor.
+
+Most callers want one of three things: run a single request, run a sweep,
+or run one request inline with the live node attached (traces, sanitizer
+reports). These helpers route through the ambient
+:class:`~repro.exec.executor.Executor`, so a surrounding
+:func:`~repro.exec.executor.using_executor` scope — the CLI's
+``--parallel``/``--cache`` flags — transparently upgrades every sweep in
+the call tree to parallel, cached execution.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .executor import Executor, get_executor
+from .request import RunRequest, RunResult
+from .worker import execute
+
+
+def run(request: RunRequest, *,
+        executor: Executor | None = None) -> RunResult:
+    """Run one request through ``executor`` (default: the ambient one)."""
+    return (executor or get_executor()).run(request)
+
+
+def run_many(requests: Sequence[RunRequest], *,
+             executor: Executor | None = None) -> "list[RunResult | None]":
+    """Run a sweep through ``executor`` (default: the ambient one)."""
+    return (executor or get_executor()).run_many(requests)
+
+
+def run_inline(request: RunRequest) -> RunResult:
+    """Execute in this process, bypassing pool and cache, and keep the
+    live node on the result — for callers that want spans, stats or
+    findings objects, not just the latency."""
+    return execute(request, keep_node=True)

@@ -22,6 +22,7 @@ from .errors import SimulationError
 from .memory.address_space import AddressSpace, BufView
 from .memory.cache import CacheKind, CacheLevel, CacheSystem
 from .memory.model import MachineModel, PAGE_SIZE, model_for
+from .options import UNSET, RunOptions, resolve_options
 from .sim import primitives as P
 from .sim.engine import Engine
 from .sim.resources import Resource, ResourcePool
@@ -31,25 +32,36 @@ from .topology.objects import ObjKind, Topology
 
 
 class Node:
-    """Simulated machine + pricing rules."""
+    """Simulated machine + pricing rules.
+
+    Run behavior is configured through one ``options=RunOptions(...)``
+    argument; the historical per-concern keywords (``data_movement=``,
+    ``record_copies=``, ``observe=``, ``check=``) still work but emit a
+    single ``DeprecationWarning`` per call (docs/api.md).
+    """
 
     def __init__(
         self,
         topo: Topology,
         model: MachineModel | None = None,
+        options: RunOptions | None = None,
         *,
-        data_movement: bool = True,
-        record_copies: bool = False,
-        observe: "bool | str | None" = None,
-        check: "bool | str | None" = None,
+        data_movement=UNSET,
+        record_copies=UNSET,
+        observe=UNSET,
+        check=UNSET,
     ) -> None:
+        options = resolve_options(
+            options, caller="Node", data_movement=data_movement,
+            record_copies=record_copies, observe=observe, check=check)
         self.topo = topo
         self.model = model if model is not None else model_for(topo)
         self.caches = CacheSystem(topo, self.model)
         self.resources = ResourcePool(topo, self.model)
-        self.data_movement = data_movement
-        self.engine = Engine(self, record_copies=record_copies,
-                             observe=observe, check=check)
+        self.options = options
+        self.data_movement = options.data_movement
+        self.engine = Engine(self, record_copies=options.record_copies,
+                             observe=options.observe, check=options.check)
         self._dist_cache: dict[tuple[int, int], Distance] = {}
         # Core index -> NUMA/socket indices, precomputed for pricing.
         self._numa_of = [

@@ -1,21 +1,22 @@
 """One-shot observed runs: the engine behind ``python -m repro trace``.
 
-Runs a single collective operation on a fresh node with observability on
-and hands back the node, ready for critical-path analysis and trace
-export. Kept separate from the OSU drivers because a trace wants exactly
-one un-warmed operation — the critical path of a whole warmup+iters sweep
-answers a different (and muddier) question.
+Runs a single collective operation with observability on and hands back
+the node, ready for critical-path analysis and trace export. The run goes
+through :func:`repro.exec.run_inline` — instrumented requests execute in
+this process with the live node attached, never through the pool or the
+result cache. A trace wants exactly one un-warmed operation: the critical
+path of a whole warmup+iters sweep answers a different (and muddier)
+question.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from ..node import Node
-from ..topology import get_system
+from ..options import RunOptions
 
 if TYPE_CHECKING:  # pragma: no cover
-    pass
+    from ..node import Node
 
 TRACEABLE_COLLS = ("bcast", "allreduce", "reduce", "barrier", "gather",
                    "alltoall")
@@ -29,33 +30,36 @@ def run_traced(
     component: str = "xhc-tree",
     root: int = 0,
     observe: bool | str = True,
-) -> Node:
+) -> "Node":
     """Run one ``coll`` of ``size`` bytes under full observability.
 
     ``component`` is a name from :data:`repro.bench.components.COMPONENTS`.
     Returns the node; its ``obs`` holds the spans/metrics and its engine
     the finished processes.
     """
+    from .. import exec as exec_mod
     from ..bench.components import COMPONENTS
-    from ..bench.osu import run_collective
+    from ..topology import get_system
 
     if coll not in TRACEABLE_COLLS:
         raise ValueError(
             f"cannot trace {coll!r}; choose from {TRACEABLE_COLLS}")
     if component == "xhc":  # convenience alias for the paper's default
         component = "xhc-tree"
-    try:
-        factory = COMPONENTS[component]
-    except KeyError:
+    if component not in COMPONENTS:
         raise ValueError(
             f"unknown component {component!r}; choose from "
-            f"{sorted(COMPONENTS)}"
-        ) from None
-    size = max(size, 1)  # the OSU driver's scratch buffer must be non-empty
-    topo = get_system(system)
-    node = Node(topo, data_movement=False, observe=observe)
+            f"{sorted(COMPONENTS)}")
     if nranks is None:
-        nranks = topo.n_cores
-    run_collective(coll, system, nranks, factory, size,
-                   warmup=0, iters=1, modify=False, root=root, node=node)
-    return node
+        nranks = get_system(system).n_cores
+    request = exec_mod.RunRequest(
+        system=system, collective=coll,
+        size=max(size, 1),  # the OSU scratch buffer must be non-empty
+        nranks=nranks, component=component, warmup=0, iters=1,
+        modify=False, root=root,
+        options=RunOptions(data_movement=False, observe=observe))
+    result = exec_mod.run_inline(request)
+    if result.error is not None:
+        from ..errors import DeadlockError
+        raise DeadlockError(result.error["message"])
+    return result.node

@@ -8,15 +8,17 @@ those choices instead:
    CICO thresholds, flag layouts);
 2. :mod:`~repro.tune.prune` discards analytically dominated candidates
    using the :mod:`repro.analysis.loggp` closed forms;
-3. :mod:`~repro.tune.evaluate` simulates the survivors in parallel,
-   behind a content-addressed :mod:`~repro.tune.cache`;
+3. :mod:`~repro.tune.evaluate` simulates the survivors through the
+   shared :class:`repro.exec.Executor` (parallel, behind the repo-wide
+   content-addressed cache; :mod:`~repro.tune.cache` is a compatibility
+   shim over :mod:`repro.exec.cache`);
 4. :mod:`~repro.tune.table` persists the winners as a JSON decision
    table that :class:`repro.mpi.colls.tunedxhc.TunedXhc` dispatches from
    at run time.
 """
 
-from .cache import ResultCache, cache_key
-from .evaluate import Evaluator, simulate_payload
+from .cache import SIM_VERSION, ResultCache, cache_key
+from .evaluate import Evaluator, measurement_request, simulate_payload
 from .prune import estimate_cost, prune
 from .space import (PAPER_DEFAULT, config_from_dict, config_to_dict,
                     generate_space, hierarchy_candidates, hierarchy_depth)
@@ -25,7 +27,8 @@ from .tuner import (COLLECTIVES, QUICK_SIZES, SWEEP_SIZES, TunePoint,
                     TuneResult, tune)
 
 __all__ = [
-    "ResultCache", "cache_key", "Evaluator", "simulate_payload",
+    "SIM_VERSION", "ResultCache", "cache_key", "Evaluator",
+    "measurement_request", "simulate_payload",
     "estimate_cost", "prune", "PAPER_DEFAULT", "config_from_dict",
     "config_to_dict", "generate_space", "hierarchy_candidates",
     "hierarchy_depth", "DecisionTable", "bucket_of", "default_table_path",

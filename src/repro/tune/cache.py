@@ -1,86 +1,23 @@
-"""Content-addressed cache of simulation results.
+"""Deprecated shim — the result cache now lives in :mod:`repro.exec.cache`.
 
-Every measurement is keyed by a digest of *everything that determines it*:
-system, collective, message size, rank count, iteration counts, the full
-config, and a simulator version tag. Re-tuning with a warm cache therefore
-performs zero new simulations, and any change to the inputs (or a bump of
-``SIM_VERSION`` when the simulator's pricing changes) misses cleanly
-instead of serving stale numbers.
+The cache was promoted out of the tuner so that every sweep entry point
+(bench, figures, tune, check, obs) shares one content-addressed store.
+This module re-exports the public names so existing imports keep working;
+new code should import from ``repro.exec`` (see docs/api.md).
 """
 
-from __future__ import annotations
+from ..exec.cache import (  # noqa: F401
+    DEFAULT_CACHE_PATH,
+    SIM_VERSION,
+    ResultCache,
+    cache_key,
+    default_cache_path,
+)
 
-import hashlib
-import json
-import os
-import tempfile
-
-# Bump when simulator pricing changes invalidate cached latencies.
-# Lint rule RC105 (repro.check.lint) enforces this: it fingerprints the
-# sim-semantics sources and fails when they change without a bump here.
-# After bumping, run `python -m repro check --update-fingerprint`.
-# 2: scatter gathers all ranks' acks at the root (release-protocol fix).
-SIM_VERSION = 2
-
-
-def cache_key(payload: dict) -> str:
-    """SHA-256 over the canonical JSON form of the measurement request."""
-    canon = json.dumps({**payload, "sim_version": SIM_VERSION},
-                       sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canon.encode()).hexdigest()
-
-
-class ResultCache:
-    """A persistent {digest: latency} store with hit/miss accounting."""
-
-    def __init__(self, path: str | os.PathLike | None = None) -> None:
-        self.path = os.fspath(path) if path is not None else None
-        self.entries: dict[str, dict] = {}
-        self.hits = 0
-        self.misses = 0
-        if self.path and os.path.exists(self.path):
-            with open(self.path) as fh:
-                stored = json.load(fh)
-            if stored.get("sim_version") == SIM_VERSION:
-                self.entries = stored.get("entries", {})
-
-    def __len__(self) -> int:
-        return len(self.entries)
-
-    @property
-    def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
-
-    def get(self, payload: dict) -> float | None:
-        entry = self.entries.get(cache_key(payload))
-        if entry is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return entry["latency_s"]
-
-    def put(self, payload: dict, latency_s: float) -> None:
-        self.entries[cache_key(payload)] = {
-            "latency_s": latency_s,
-            # The request itself is stored alongside for auditability;
-            # the digest alone would be write-only.
-            "request": payload,
-        }
-
-    def save(self) -> None:
-        if not self.path:
-            return
-        directory = os.path.dirname(self.path) or "."
-        os.makedirs(directory, exist_ok=True)
-        payload = {"sim_version": SIM_VERSION, "entries": self.entries}
-        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(payload, fh, indent=1, sort_keys=True)
-            os.chmod(tmp, 0o644)  # mkstemp creates 0600
-            os.replace(tmp, self.path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+__all__ = [
+    "DEFAULT_CACHE_PATH",
+    "SIM_VERSION",
+    "ResultCache",
+    "cache_key",
+    "default_cache_path",
+]

@@ -1,50 +1,56 @@
-"""Parallel candidate evaluation through the simulator.
+"""Candidate evaluation on top of the shared executor.
 
-Each candidate runs the same OSU-style measurement the benchmarks use
-(:func:`repro.bench.osu.run_collective`), so tuned numbers are directly
-comparable with every figure the repo regenerates. Simulations are pure
-CPU-bound Python, so parallelism uses processes; results flow through the
-:class:`~repro.tune.cache.ResultCache` so only never-seen candidates cost
-anything.
+Each candidate runs the same OSU-style measurement the benchmarks use, as
+a :class:`~repro.exec.RunRequest` through :class:`~repro.exec.Executor` —
+so tuned numbers are directly comparable with every figure the repo
+regenerates, and tuning shares the one content-addressed
+:class:`~repro.exec.ResultCache` with every other entry point.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
-import os
-
-from ..xhc import Xhc
+from ..exec.cache import ResultCache
+from ..exec.executor import Executor
+from ..exec.request import RunRequest
 from ..xhc.config import XhcConfig
-from .cache import ResultCache
 from .space import config_from_dict, config_to_dict
 
 EVAL_ITERS = dict(warmup=1, iters=3)
 QUICK_ITERS = dict(warmup=1, iters=2)
 
 
+def measurement_request(system: str, collective: str, size: int, nranks: int,
+                        cfg: XhcConfig, iters: dict) -> RunRequest:
+    """The candidate's measurement as an executor request."""
+    return RunRequest(system=system, collective=collective, size=size,
+                      nranks=nranks, component="xhc",
+                      config=config_to_dict(cfg), **iters)
+
+
 def measurement_payload(system: str, collective: str, size: int, nranks: int,
                         cfg: XhcConfig, iters: dict) -> dict:
-    return {
-        "system": system,
-        "collective": collective,
-        "size": size,
-        "nranks": nranks,
-        "mapping": "core",
-        "config": config_to_dict(cfg),
-        **iters,
-    }
+    """Deprecated alias: the cache payload of :func:`measurement_request`."""
+    return measurement_request(system, collective, size, nranks, cfg,
+                               iters).payload()
 
 
 def simulate_payload(payload: dict) -> float:
-    """Run one measurement (top-level so worker processes can pickle it)."""
-    from ..bench.osu import run_collective
-    cfg = config_from_dict(payload["config"])
-    return run_collective(
-        payload["collective"], payload["system"], payload["nranks"],
-        lambda: Xhc(config=cfg), payload["size"],
+    """Run one measurement described by a request payload (inline)."""
+    from ..exec.worker import execute
+    request = RunRequest(
+        system=payload["system"], collective=payload["collective"],
+        size=payload["size"], nranks=payload["nranks"],
+        component=payload.get("component", "xhc"),
+        config=config_to_dict(config_from_dict(payload["config"])),
         warmup=payload["warmup"], iters=payload["iters"],
-        mapping=payload["mapping"],
+        modify=payload.get("modify", True),
+        mapping=payload.get("mapping", "core"),
+        root=payload.get("root", 0),
     )
+    result = execute(request)
+    if result.latency_s is None:
+        raise RuntimeError(f"simulation failed: {result.error}")
+    return result.latency_s
 
 
 class BudgetExhausted(RuntimeError):
@@ -54,67 +60,53 @@ class BudgetExhausted(RuntimeError):
 class Evaluator:
     """Cached, optionally-parallel scoring of candidate configs.
 
-    ``workers=0`` evaluates inline (tests, deterministic debugging);
-    ``workers=None`` picks a process count from the CPU. ``budget`` caps
-    the number of *new* simulations across the evaluator's lifetime —
-    cached results are always free.
+    A thin adapter that phrases candidates as run requests and delegates
+    scheduling to :class:`~repro.exec.Executor`. ``workers=0`` evaluates
+    inline (tests, deterministic debugging); ``workers=None`` picks a
+    process count from the CPU. ``budget`` caps the number of *new*
+    simulations across the evaluator's lifetime — cached results are
+    always free.
     """
 
     def __init__(self, cache: ResultCache | None = None,
                  workers: int | None = None,
                  budget: int | None = None) -> None:
-        self.cache = cache if cache is not None else ResultCache()
-        self.workers = workers
-        self.budget = budget
-        self.simulations = 0
+        self.executor = Executor(workers=workers, cache=cache, budget=budget)
+
+    @property
+    def cache(self) -> ResultCache:
+        return self.executor.cache
+
+    @property
+    def workers(self) -> int | None:
+        return self.executor.workers
+
+    @property
+    def budget(self) -> int | None:
+        return self.executor.budget
+
+    @property
+    def simulations(self) -> int:
+        return self.executor.simulations
 
     @property
     def budget_left(self) -> int | None:
-        if self.budget is None:
-            return None
-        return max(0, self.budget - self.simulations)
+        return self.executor.budget_left
 
-    def _effective_workers(self, njobs: int) -> int:
-        if self.workers is not None:
-            return min(self.workers, njobs)
-        return min(njobs, max(1, min(8, (os.cpu_count() or 2) - 1)))
+    def close(self) -> None:
+        """Shut the executor's worker pool down and persist the cache."""
+        self.executor.close()
 
     def evaluate(self, system: str, collective: str, size: int, nranks: int,
                  configs: list[XhcConfig], *,
                  iters: dict = EVAL_ITERS) -> dict[XhcConfig, float]:
         """Latency per config; silently drops configs past the budget."""
+        requests = [
+            measurement_request(system, collective, size, nranks, cfg, iters)
+            for cfg in configs
+        ]
         results: dict[XhcConfig, float] = {}
-        todo: list[tuple[XhcConfig, dict]] = []
-        for cfg in configs:
-            payload = measurement_payload(system, collective, size, nranks,
-                                          cfg, iters)
-            cached = self.cache.get(payload)
-            if cached is not None:
-                results[cfg] = cached
-            else:
-                todo.append((cfg, payload))
-        if self.budget is not None:
-            todo = todo[:self.budget_left]
-        if not todo:
-            return results
-        nworkers = self._effective_workers(len(todo))
-        if nworkers <= 1:
-            for cfg, payload in todo:
-                latency = simulate_payload(payload)
-                self._record(cfg, payload, latency, results)
-        else:
-            with concurrent.futures.ProcessPoolExecutor(nworkers) as pool:
-                futures = {
-                    pool.submit(simulate_payload, payload): (cfg, payload)
-                    for cfg, payload in todo
-                }
-                for future in concurrent.futures.as_completed(futures):
-                    cfg, payload = futures[future]
-                    self._record(cfg, payload, future.result(), results)
+        for cfg, result in zip(configs, self.executor.run_many(requests)):
+            if result is not None and result.latency_s is not None:
+                results[cfg] = result.latency_s
         return results
-
-    def _record(self, cfg: XhcConfig, payload: dict, latency: float,
-                results: dict[XhcConfig, float]) -> None:
-        self.simulations += 1
-        self.cache.put(payload, latency)
-        results[cfg] = latency

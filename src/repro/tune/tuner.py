@@ -160,5 +160,5 @@ def tune(systems=("epyc-1p", "epyc-2p", "arm-n1"),
     result.simulations = evaluator.simulations
     result.cache_hits = evaluator.cache.hits
     result.cache_misses = evaluator.cache.misses
-    evaluator.cache.save()
+    evaluator.close()
     return result

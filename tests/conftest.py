@@ -7,6 +7,7 @@ import pytest
 
 from repro.mpi import FLOAT, SUM, World
 from repro.node import Node
+from repro.options import RunOptions
 from repro.shmem.smsc import SmscConfig
 from repro.sim import primitives as P
 from repro.topology import build_symmetric, get_system
@@ -28,7 +29,7 @@ def run_bcast(component_factory, *, topo=None, nranks=8, size=256, root=0,
     cache state behaves like a real application.
     """
     topo = topo if topo is not None else small_topo()
-    node = Node(topo, data_movement=data_movement)
+    node = Node(topo, options=RunOptions(data_movement=data_movement))
     world = World(node, nranks, mapping=mapping, smsc=smsc)
     comm = world.communicator(component_factory())
     out = {}
@@ -56,7 +57,7 @@ def run_allreduce(component_factory, *, topo=None, nranks=8, size=256,
                   iters=2, mapping="core", smsc=None, data_movement=True,
                   op=SUM, dtype=FLOAT):
     topo = topo if topo is not None else small_topo()
-    node = Node(topo, data_movement=data_movement)
+    node = Node(topo, options=RunOptions(data_movement=data_movement))
     world = World(node, nranks, mapping=mapping, smsc=smsc)
     comm = world.communicator(component_factory())
     out = {}

@@ -167,6 +167,50 @@ def test_trace_command_json_report(tmp_path, capsys):
     assert abs(phase_sum - total) <= 0.01 * total
 
 
+def test_bench_cache_warm_rerun(tmp_path, capsys):
+    cache_path = tmp_path / "sim_cache.json"
+    argv = ["bench", "bcast", "--system", "epyc-1p", "--nranks", "8",
+            "--components", "xhc-tree", "--sizes", "64,4096",
+            "--iters", "1", "--cache", str(cache_path)]
+    code, out = run_cli(capsys, *argv)
+    assert code == 0
+    assert "simulations: 2 new" in out
+    # Warm re-run: every point answered from the persisted cache.
+    code, out = run_cli(capsys, *argv)
+    assert code == 0
+    assert "simulations: 0 new" in out
+    assert "hit rate 100%" in out
+
+
+def test_bench_parallel_matches_serial(tmp_path, capsys):
+    argv = ["bench", "bcast", "--system", "epyc-1p", "--nranks", "8",
+            "--components", "xhc-tree,tuned", "--sizes", "64,4096",
+            "--iters", "1", "--json"]
+    code, _ = run_cli(capsys, *argv, str(tmp_path / "serial.json"))
+    assert code == 0
+    code, _ = run_cli(capsys, *argv, str(tmp_path / "parallel.json"),
+                      "--parallel", "2")
+    assert code == 0
+    serial = json.loads((tmp_path / "serial.json").read_text())
+    parallel = json.loads((tmp_path / "parallel.json").read_text())
+    assert serial == parallel
+
+
+def test_bench_emit_bench_defaults_to_next_free(tmp_path, capsys,
+                                                monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "BENCH_2.json").write_text("{}")
+    code, out = run_cli(capsys, "bench", "bcast", "--system", "epyc-1p",
+                        "--nranks", "8", "--components", "xhc-tree",
+                        "--sizes", "64", "--iters", "1", "--emit-bench")
+    assert code == 0
+    assert (tmp_path / "BENCH_3.json").exists()
+    assert (tmp_path / "BENCH_2.json").read_text() == "{}"  # untouched
+    doc = json.loads((tmp_path / "BENCH_3.json").read_text())
+    assert doc["tag"] == "BENCH_3"
+    assert "exec" in doc
+
+
 def test_bench_emit_bench(tmp_path, capsys):
     path = tmp_path / "BENCH_X.json"
     code, _ = run_cli(capsys, "bench", "bcast", "--system", "epyc-1p",

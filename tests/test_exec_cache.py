@@ -1,0 +1,96 @@
+"""The promoted result cache: key discipline and the tune shim."""
+
+import json
+import os
+import subprocess
+import sys
+
+import repro
+from repro.exec import RunRequest, SIM_VERSION, ResultCache, cache_key
+from repro.exec.cache import default_cache_path
+
+
+def test_key_stable_across_dict_orderings():
+    a = RunRequest("epyc-1p", "bcast", 1024, 32,
+                   component="xhc", config={"hierarchy": "numa",
+                                            "chunk_size": 16384})
+    b = RunRequest("epyc-1p", "bcast", 1024, 32,
+                   component="xhc", config={"chunk_size": 16384,
+                                            "hierarchy": "numa"})
+    assert a.key() == b.key()
+
+
+def test_key_stable_across_process_boundaries():
+    # A fresh interpreter (different PYTHONHASHSEED, different dict
+    # insertion history) must derive the identical digest — the persistent
+    # cache is shared across runs and machines.
+    req = RunRequest("epyc-1p", "bcast", 1024, 32,
+                     component="xhc", config={"b": 2, "a": 1})
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    code = ("from repro.exec import RunRequest\n"
+            "print(RunRequest('epyc-1p', 'bcast', 1024, 32,\n"
+            "      component='xhc', config={'a': 1, 'b': 2}).key())")
+    env = {**os.environ, "PYTHONPATH": src, "PYTHONHASHSEED": "12345"}
+    out = subprocess.run([sys.executable, "-c", code], env=env,
+                         capture_output=True, text=True, check=True)
+    assert out.stdout.strip() == req.key()
+
+
+def test_key_includes_sim_version(monkeypatch):
+    req = RunRequest("epyc-1p", "bcast", 1024, 32)
+    before = req.key()
+    import repro.exec.cache as cache_mod
+    monkeypatch.setattr(cache_mod, "SIM_VERSION", SIM_VERSION + 1)
+    assert req.key() != before
+
+
+def test_sim_version_bump_misses_cleanly(tmp_path, monkeypatch):
+    path = tmp_path / "cache.json"
+    cache = ResultCache(path)
+    cache.put(RunRequest("epyc-1p", "bcast", 1024, 32).payload(), 2e-6)
+    cache.save()
+    assert len(ResultCache(path)) == 1
+
+    import repro.exec.cache as cache_mod
+    monkeypatch.setattr(cache_mod, "SIM_VERSION", SIM_VERSION + 1)
+    stale = ResultCache(path)
+    assert len(stale) == 0
+    assert stale.get(RunRequest("epyc-1p", "bcast", 1024, 32).payload()) \
+        is None
+
+
+def test_options_do_not_affect_the_key():
+    from repro.options import RunOptions
+    plain = RunRequest("epyc-1p", "bcast", 1024, 32)
+    instrumented = RunRequest("epyc-1p", "bcast", 1024, 32,
+                              options=RunOptions(data_movement=True,
+                                                 observe="spans"))
+    # Instrumentation never changes simulated time, so the payloads (and
+    # keys) match; the instrumented request is simply not cacheable.
+    assert plain.payload() == instrumented.payload()
+    assert plain.cacheable and not instrumented.cacheable
+
+
+def test_tune_cache_shim_is_the_exec_cache():
+    import repro.exec.cache as exec_cache
+    import repro.tune.cache as tune_cache
+    assert tune_cache.ResultCache is exec_cache.ResultCache
+    assert tune_cache.cache_key is exec_cache.cache_key
+    assert tune_cache.SIM_VERSION == exec_cache.SIM_VERSION
+    # And the package-level re-exports agree.
+    from repro.tune import ResultCache as tune_rc
+    assert tune_rc is exec_cache.ResultCache
+
+
+def test_default_cache_path_shape():
+    assert default_cache_path().endswith(
+        os.path.join("results", "cache", "sim_cache.json"))
+
+
+def test_payload_is_json_safe():
+    from repro.shmem.smsc import SmscConfig
+    req = RunRequest("epyc-2p", "pingpong", 65536, 2,
+                     component="tuned", mapping=(0, 8),
+                     smsc=SmscConfig(mechanism="cma"))
+    round_tripped = json.loads(json.dumps(req.payload()))
+    assert cache_key(round_tripped) == req.key()

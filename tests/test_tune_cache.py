@@ -1,4 +1,9 @@
-"""Content-addressed result cache: hit/miss accounting + persistence."""
+"""Content-addressed result cache: hit/miss accounting + persistence.
+
+The cache lives in ``repro.exec.cache`` now; this suite imports it through
+the ``repro.tune.cache`` compatibility shim on purpose, so a regression in
+the shim fails loudly here.
+"""
 
 from repro.tune.cache import SIM_VERSION, ResultCache, cache_key
 
@@ -49,7 +54,9 @@ def test_sim_version_mismatch_discards(tmp_path, monkeypatch):
     cache.put(payload(), 2e-6)
     cache.save()
 
-    import repro.tune.cache as cache_mod
+    # The behavior lives in repro.exec.cache (the shim only re-exports),
+    # so the version check must be patched at its home module.
+    import repro.exec.cache as cache_mod
     monkeypatch.setattr(cache_mod, "SIM_VERSION", SIM_VERSION + 1)
     stale = ResultCache(path)
     assert len(stale) == 0  # old entries must not be served
