@@ -24,6 +24,13 @@ eroded:
   changed without bumping :data:`repro.exec.cache.SIM_VERSION`, stale
   autotuning tables would silently survive. Regenerate with
   ``python -m repro check --update-fingerprint`` after bumping.
+* **RC106** — no per-event allocations in ``# hot-path`` functions:
+  inside a function whose ``def`` line (or the line above it) carries a
+  ``# hot-path`` marker, list/dict/set literals, comprehensions and
+  string formatting (f-strings, ``.format``, ``%``) are flagged. These
+  run once per simulated event; an allocation there is a measured
+  regression (see docs/performance.md). Deliberate cold-path allocations
+  inside a marked function carry ``# lint: disable=RC106``.
 
 Suppress any rule on a specific line with ``# lint: disable=RC1xx``
 (comma-separate several ids). See docs/checking.md for the catalogue and
@@ -45,6 +52,7 @@ RULES = {
     "RC103": "mutable default argument",
     "RC104": "raw sync/buffer poke outside the sync API",
     "RC105": "sim semantics changed without a SIM_VERSION bump",
+    "RC106": "per-event allocation in a hot-path function",
 }
 
 # Files whose semantics define what a simulated result means; hashed into
@@ -66,6 +74,8 @@ _POKE_SCOPES = ("mpi/", "xhc/", "apps/", "bench/")
 
 _SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable=([A-Z0-9, ]+)")
 
+_HOT_PATH_RE = re.compile(r"#\s*hot-path\b")
+
 _SKIP_DIRS = {"__pycache__", ".git", ".pytest_cache", "build", "dist",
               ".eggs", "results", "figures"}
 
@@ -79,6 +89,13 @@ def _suppressions(source: str) -> dict[int, set[str]]:
     return out
 
 
+def _hot_path_lines(source: str) -> set[int]:
+    """Line numbers carrying a ``# hot-path`` marker."""
+    return {lineno for lineno, line in
+            enumerate(source.splitlines(), start=1)
+            if _HOT_PATH_RE.search(line)}
+
+
 class _FileLinter(ast.NodeVisitor):
     """Runs the AST rules over one file."""
 
@@ -88,6 +105,10 @@ class _FileLinter(ast.NodeVisitor):
         self.in_poke_scope = in_package and any(
             f"/{scope}" in f"/{rel}" for scope in _POKE_SCOPES)
         self.suppressed = _suppressions(source)
+        self.hot_lines = _hot_path_lines(source)
+        # Lexical nesting depth of `# hot-path` functions; > 0 means the
+        # node being visited runs on a marked hot path (RC106 applies).
+        self._hot_depth = 0
         self.findings: list[Finding] = []
 
     def _add(self, rule: str, node: ast.AST, message: str) -> None:
@@ -135,15 +156,37 @@ class _FileLinter(ast.NodeVisitor):
                       "deterministic; derive variation from inputs")
         self.generic_visit(node)
 
-    # RC103 — mutable default args
+    # RC103 — mutable default args / RC106 — hot-path function scope
+
+    def _is_hot_path(self, node) -> bool:
+        """Marker on the ``def`` line, the line above it, or any line of a
+        multi-line signature (up to the first body statement)."""
+        first_body = node.body[0].lineno if node.body else node.lineno
+        return any(line in self.hot_lines
+                   for line in range(node.lineno - 1, first_body))
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._defaults_rule(node)
-        self.generic_visit(node)
+        self._visit_function_body(node)
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._defaults_rule(node)
-        self.generic_visit(node)
+        self._visit_function_body(node)
+
+    def _visit_function_body(self, node) -> None:
+        hot = self._is_hot_path(node)
+        if hot or self._hot_depth > 0:
+            # Annotations and decorators never execute per event (the
+            # `[]` in `Callable[[], None]` is an ast.List); RC106 scans
+            # only the executable body.
+            if hot:
+                self._hot_depth += 1
+            for stmt in node.body:
+                self.visit(stmt)
+            if hot:
+                self._hot_depth -= 1
+        else:
+            self.generic_visit(node)
 
     def visit_Lambda(self, node: ast.Lambda) -> None:
         self._defaults_rule(node)
@@ -167,6 +210,59 @@ class _FileLinter(ast.NodeVisitor):
                 and isinstance(node.func, ast.Name)
                 and node.func.id in ("list", "dict", "set")
                 and not node.args and not node.keywords)
+
+    # RC106 — per-event allocations inside `# hot-path` functions
+
+    def _hot_alloc(self, node: ast.AST, what: str) -> None:
+        if self._hot_depth > 0:
+            self._add("RC106", node,
+                      f"{what} in a hot-path function: this allocates "
+                      f"per event; hoist it, reuse a slot, or mark a "
+                      f"deliberate cold branch with "
+                      f"'# lint: disable=RC106'")
+
+    def visit_List(self, node: ast.List) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self._hot_alloc(node, "list literal")
+        self.generic_visit(node)
+
+    def visit_Set(self, node: ast.Set) -> None:
+        self._hot_alloc(node, "set literal")
+        self.generic_visit(node)
+
+    def visit_Dict(self, node: ast.Dict) -> None:
+        self._hot_alloc(node, "dict literal")
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._hot_alloc(node, "list comprehension")
+        self.generic_visit(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._hot_alloc(node, "set comprehension")
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._hot_alloc(node, "dict comprehension")
+        self.generic_visit(node)
+
+    def visit_JoinedStr(self, node: ast.JoinedStr) -> None:
+        self._hot_alloc(node, "f-string formatting")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "format"):
+            self._hot_alloc(node, "str.format() call")
+        self.generic_visit(node)
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if (isinstance(node.op, ast.Mod)
+                and isinstance(node.left, (ast.Constant, ast.JoinedStr))
+                and (isinstance(node.left, ast.JoinedStr)
+                     or isinstance(node.left.value, str))):
+            self._hot_alloc(node, "%-string formatting")
+        self.generic_visit(node)
 
     # RC104 — raw pokes from algorithm code
 

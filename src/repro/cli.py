@@ -193,6 +193,68 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_perf(args) -> int:
+    import os
+
+    from .perf import harness
+
+    if args.profile:
+        print(harness.profile_macro(quick=args.quick))
+        return 0
+
+    results = harness.run_perf(quick=args.quick,
+                               macro_repeats=args.repeats)
+    engine, pricing, macro = (results["engine"], results["pricing"],
+                              results["macro"])
+    print(f"engine micro   {engine['events']:8d} events in "
+          f"{engine['cpu_s']:.3f}s cpu -> "
+          f"{engine['events_per_sec']:,.0f} events/s")
+    print(f"pricing micro  memo {pricing['memo_calls_per_sec']:,.0f}/s, "
+          f"cold {pricing['cold_calls_per_sec']:,.0f}/s "
+          f"(memo speedup {pricing['memo_speedup']:.1f}x)")
+    label = "quick" if macro["quick"] else "full"
+    print(f"macro ({label})  wall {macro['wall_s']:.3f}s  "
+          f"cpu {macro['cpu_s']:.3f}s over {len(macro['points'])} points")
+    for pt in macro["points"]:
+        print(f"  {pt['kind']:<10}{pt['size']:>9d}B  "
+              f"{pt['latency_us']:10.2f} us sim  "
+              f"{pt['wall_s']:7.3f} s wall")
+    if args.baseline is not None:
+        speedup = args.baseline / macro["wall_s"] if macro["wall_s"] \
+            else 0.0
+        print(f"speedup vs baseline {args.baseline:.3f}s wall: "
+              f"{speedup:.2f}x")
+
+    status = 0
+    floor = (harness.ENGINE_EVENTS_PER_SEC_FLOOR
+             if args.assert_floor is None else args.assert_floor)
+    if args.assert_floor is not None or args.ci:
+        if engine["events_per_sec"] < floor:
+            print(f"[FAIL] engine microbench {engine['events_per_sec']:,.0f}"
+                  f" events/s is below the floor {floor:,.0f}")
+            status = 1
+        else:
+            print(f"[ok] engine microbench clears the "
+                  f"{floor:,.0f} events/s floor "
+                  f"({engine['events_per_sec'] / floor:.1f}x headroom)")
+
+    payload = harness.emit_record(
+        engine, pricing, macro,
+        baseline_wall_s=args.baseline,
+        baseline_cpu_s=args.baseline_cpu,
+        note=args.note or "")
+    if args.json:
+        write_json(args.json, payload)
+        print(f"[wrote perf report to {args.json}]")
+    if args.emit_bench is not None:
+        path = args.emit_bench or next_bench_path()
+        tag = os.path.splitext(os.path.basename(path))[0]
+        payload["tag"] = tag
+        write_json(path, payload)
+        print(f"[wrote perf record to {path}]")
+    return status
+
+
 def cmd_trace(args) -> int:
     from .obs import critical_path, flame_view, write_chrome_trace
     from .obs.runner import run_traced
@@ -504,6 +566,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="regenerate the RC105 sim-semantics fingerprint "
                         "manifest (run after bumping SIM_VERSION)")
     p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser(
+        "perf", help="simulator perf suite: micro + macro benchmarks "
+                     "(docs/performance.md)",
+        parents=[_json_flags("write the full perf report as JSON here")])
+    p.add_argument("--quick", action="store_true",
+                   help="trimmed suite (2 macro sizes, fewer iters) for "
+                        "CI smoke")
+    p.add_argument("--repeats", type=int, default=1,
+                   help="macro sweep repetitions (min is reported)")
+    p.add_argument("--profile", action="store_true",
+                   help="cProfile the macro workload and print the hot "
+                        "list instead of timing")
+    p.add_argument("--emit-bench", nargs="?", const="", default=None,
+                   metavar="PATH",
+                   help="write the perf record (bare flag picks the next "
+                        "free BENCH_<n>.json)")
+    p.add_argument("--assert-floor", type=float, default=None,
+                   metavar="EV_PER_S",
+                   help="exit 1 if the engine microbench runs below this "
+                        "many events/second")
+    p.add_argument("--ci", action="store_true",
+                   help="assert the default events/second floor")
+    p.add_argument("--baseline", type=float, default=None, metavar="SECS",
+                   help="pre-optimization macro wall seconds (same "
+                        "machine, interleaved) to compute speedup against")
+    p.add_argument("--baseline-cpu", type=float, default=None,
+                   metavar="SECS",
+                   help="pre-optimization macro CPU seconds")
+    p.add_argument("--note", help="free-form note recorded in the emitted "
+                                  "record (methodology, host)")
+    p.set_defaults(fn=cmd_perf)
 
     p = sub.add_parser("app", help="run an application skeleton",
                        parents=[_system_flags()])

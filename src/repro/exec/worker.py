@@ -26,16 +26,28 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..topology.objects import Topology
 
 # Per-process memo: {system codename: Topology}. Populated lazily; lives
-# for the worker's lifetime, which is exactly the warm-worker win.
+# for the worker's lifetime, which is exactly the warm-worker win. LRU-
+# bounded: a long-lived pool worker handed sweeps over many systems (or
+# many ad-hoc spec files) must not accumulate one Topology per codename
+# forever. Insertion order is the recency order — a hit re-inserts.
 _TOPO_MEMO: dict[str, "Topology"] = {}
+_TOPO_MEMO_CAP = 4
 
 
 def get_topology(system: str) -> "Topology":
-    """The (per-process memoized) topology of a named system."""
-    topo = _TOPO_MEMO.get(system)
+    """The (per-process memoized) topology of a named system.
+
+    Eviction is invisible to results: a Topology is a pure function of
+    its codename and is read-only after construction, so rebuilding an
+    evicted one yields an equivalent object (asserted by the exec tests).
+    """
+    topo = _TOPO_MEMO.pop(system, None)
     if topo is None:
         from ..topology import get_system
-        topo = _TOPO_MEMO[system] = get_system(system)
+        topo = get_system(system)
+        if len(_TOPO_MEMO) >= _TOPO_MEMO_CAP:
+            del _TOPO_MEMO[next(iter(_TOPO_MEMO))]
+    _TOPO_MEMO[system] = topo
     return topo
 
 

@@ -82,13 +82,21 @@ class BufView:
                 f"buffer {self.buf.name!r} of size {self.buf.size}"
             )
 
-    def sub(self, offset: int, length: int) -> "BufView":
-        if offset < 0 or offset + length > self.length:
+    def sub(self, offset: int, length: int) -> "BufView":  # hot-path
+        if offset < 0 or length < 0 or offset + length > self.length:
             raise MemoryModelError(
-                f"sub-view [{offset}, {offset + length}) escapes a view of "
+                f"sub-view [{offset}, {offset + length}) escapes a view of "  # lint: disable=RC106
                 f"length {self.length}"
             )
-        return BufView(self.buf, self.offset + offset, length)
+        # Bypass the dataclass constructor: the bounds check above already
+        # implies __post_init__'s invariants (our own offset/length were
+        # validated when *this* view was built), and pipelined collectives
+        # mint sub-views on every chunk.
+        view = object.__new__(BufView)
+        object.__setattr__(view, "buf", self.buf)
+        object.__setattr__(view, "offset", self.offset + offset)
+        object.__setattr__(view, "length", length)
+        return view
 
     def array(self) -> Optional[np.ndarray]:
         if self.buf.data is None:

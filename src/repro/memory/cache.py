@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import enum
 import itertools
-from collections import OrderedDict
 from typing import Iterator, Optional, TYPE_CHECKING
 
 from ..errors import MemoryModelError
@@ -45,6 +44,8 @@ class CacheKind(enum.Enum):
 class CacheLevel:
     """One cache: an LRU map of buffer-id -> high-water prefix offset."""
 
+    __slots__ = ("id", "kind", "capacity", "home_cores", "_hw", "_total")
+
     _ids = itertools.count()
 
     def __init__(self, kind: CacheKind, capacity: int, home_cores: list[int]):
@@ -56,7 +57,11 @@ class CacheLevel:
         # Cores this cache is "at": its owner for PRIVATE, the LLC group's
         # members for GROUP, the socket's cores for SLC. Used for distance.
         self.home_cores = home_cores
-        self._hw: OrderedDict[int, int] = OrderedDict()  # buf_id -> high water
+        # buf_id -> high water, in LRU order (oldest first). A plain dict:
+        # insertion order is the LRU order, and a pop+reinsert is the
+        # "touch" that OrderedDict.move_to_end would perform — identical
+        # eviction sequence, without the OrderedDict overhead.
+        self._hw: dict[int, int] = {}
         self._total = 0
 
     # -- queries -----------------------------------------------------------
@@ -67,14 +72,20 @@ class CacheLevel:
     def footprint(self, buf: "Buffer") -> int:
         return min(self._hw.get(buf.id, 0), self.capacity)
 
-    def hit_bytes(self, buf: "Buffer", offset: int, length: int) -> int:
+    def hit_bytes(self, buf: "Buffer", offset: int, length: int) -> int:  # hot-path
         """Bytes of ``[offset, offset+length)`` resident here (the trailing
         window of the buffer's prefix)."""
         hw = self._hw.get(buf.id)
         if hw is None or length <= 0:
             return 0
-        lo = max(0, hw - self.capacity)
-        return max(0, min(offset + length, hw) - max(offset, lo))
+        lo = hw - self.capacity
+        if lo < offset:
+            lo = offset
+        hi = offset + length
+        if hi > hw:
+            hi = hw
+        n = hi - lo
+        return n if n > 0 else 0
 
     def holds_any(self, buf: "Buffer") -> bool:
         return buf.id in self._hw
@@ -88,17 +99,33 @@ class CacheLevel:
 
     # -- mutation ------------------------------------------------------------
 
-    def insert(self, buf: "Buffer", upto: int, system: "CacheSystem") -> None:
+    def insert(self, buf: "Buffer", upto: int, system: "CacheSystem") -> None:  # hot-path
         """Record that the buffer's prefix now reaches ``upto`` here."""
         if upto <= 0:
             return
-        old = self._hw.pop(buf.id, 0)
-        self._total -= min(old, self.capacity)
-        new = min(buf.size, max(old, upto))
-        self._hw[buf.id] = new
-        self._total += min(new, self.capacity)
-        system._holders.setdefault(buf.id, {})[self.id] = self
-        self._evict(system, keep=buf.id)
+        hw = self._hw
+        buf_id = buf.id
+        old = hw.pop(buf_id, 0)
+        new = old if old >= upto else upto
+        size = buf.size
+        if new > size:
+            new = size
+        hw[buf_id] = new
+        if new == old:
+            # High water unchanged: the pop+reinsert above was a pure LRU
+            # touch. Totals, the holders directory and eviction pressure
+            # are all exactly as before, so skip them.
+            return
+        cap = self.capacity
+        self._total += ((new if new < cap else cap)
+                        - (old if old < cap else cap))
+        holders = system._holders.get(buf_id)
+        if holders is None:
+            system._holders[buf_id] = {self.id: self}  # lint: disable=RC106
+        else:
+            holders[self.id] = self
+        if self._total > cap:
+            self._evict(system, keep=buf_id)
 
     def invalidate(self, buf: "Buffer", system: "CacheSystem") -> None:
         old = self._hw.pop(buf.id, None)
@@ -112,7 +139,7 @@ class CacheLevel:
         while self._total > self.capacity and len(self._hw) > 1:
             victim_id = next(iter(self._hw))
             if victim_id == keep:
-                self._hw.move_to_end(victim_id)
+                self._hw[victim_id] = self._hw.pop(victim_id)  # re-queue
                 victim_id = next(iter(self._hw))
                 if victim_id == keep:  # pragma: no cover - single entry
                     return
@@ -173,22 +200,98 @@ class CacheSystem:
     def holders_of(self, buf: "Buffer"):
         return self._holders.get(buf.id, {}).values()
 
+    def span_signature(self, buf: "Buffer", off: int, length: int) -> tuple:  # hot-path
+        """Cache-state signature of reading ``buf[off:off+length)``.
+
+        A flat tuple alternating ``(cache_level_id, hit_bytes)`` over the
+        holders that cover any of the span, *in directory insertion
+        order* — exactly what source selection
+        (:meth:`~repro.node.Node._cache_source_span`) consumes: which
+        caches can serve the span, how much of it each covers, and the
+        deterministic tie-break order. Distances, routes and capacities
+        are static per cache level, so two calls with equal keys and equal
+        span signatures price identically — which is what lets
+        :class:`~repro.node.Node` memoize pricing by ``(span, signature)``.
+
+        Deliberately span-relative rather than a hash of raw high-water
+        marks: benchmark iterations leave trails of slightly different
+        high waters that all cover a chunk identically, and those must
+        collapse onto one memo entry for steady-state runs to hit. (A
+        monotonic state counter would never hit at all — cache states
+        *recur* across iterations, they don't progress.)
+        """
+        holders = self._holders.get(buf.id)
+        if not holders:
+            return ()
+        buf_id = buf.id
+        end = off + length
+        parts = []  # lint: disable=RC106 - the signature being built
+        for level in holders.values():
+            # Inlined CacheLevel.hit_bytes (the directory guarantees
+            # presence, so no .get, and the span is known positive).
+            hw = level._hw[buf_id]
+            lo = hw - level.capacity
+            if lo < off:
+                lo = off
+            hi = hw if hw < end else end
+            if hi > lo:
+                parts.append(level.id)
+                parts.append(hi - lo)
+        return tuple(parts)
+
     # -- read/write accounting ---------------------------------------------
 
-    def record_read(self, core: int, buf: "Buffer", upto: int) -> None:
-        """A core consumed the buffer's prefix up to ``upto``."""
-        self.private[core].insert(buf, upto, self)
-        shared = self._shared_of_core[core]
-        if shared is not None:
-            shared.insert(buf, upto, self)
+    def record_read(self, core: int, buf: "Buffer", upto: int) -> None:  # hot-path
+        """A core consumed the buffer's prefix up to ``upto``.
 
-    def record_write(self, core: int, buf: "Buffer", upto: int) -> None:
+        Equivalent to ``insert`` on the core's private then shared level,
+        with both bodies inlined: this pair runs on every simulated copy
+        completion, and the call/attribute overhead of two ``insert``
+        frames is measurable there."""
+        if upto <= 0:
+            return
+        buf_id = buf.id
+        size = buf.size
+        level = self.private[core]
+        while True:  # private level, then the shared level if any
+            hw = level._hw
+            old = hw.pop(buf_id, 0)
+            new = old if old >= upto else upto
+            if new > size:
+                new = size
+            hw[buf_id] = new
+            if new != old:  # else: pure LRU touch, bookkeeping unchanged
+                cap = level.capacity
+                level._total += ((new if new < cap else cap)
+                                 - (old if old < cap else cap))
+                holders = self._holders.get(buf_id)
+                if holders is None:
+                    self._holders[buf_id] = {level.id: level}  # lint: disable=RC106
+                else:
+                    holders[level.id] = level
+                if level._total > cap:
+                    level._evict(self, keep=buf_id)
+            shared = self._shared_of_core[core]
+            if shared is None or level is shared:
+                return
+            level = shared
+
+    def record_write(self, core: int, buf: "Buffer", upto: int) -> None:  # hot-path
         """A core wrote the prefix up to ``upto``: peer copies invalidate."""
         writer_private = self.private[core]
         writer_shared = self._shared_of_core[core]
-        for level in list(self._holders.get(buf.id, {}).values()):
-            if level is not writer_private and level is not writer_shared:
-                level.invalidate(buf, self)
+        holders = self._holders.get(buf.id)
+        if holders:
+            stale = None
+            for level in holders.values():
+                if level is not writer_private and level is not writer_shared:
+                    if stale is None:
+                        stale = [level]  # lint: disable=RC106
+                    else:
+                        stale.append(level)
+            if stale is not None:
+                for level in stale:
+                    level.invalidate(buf, self)
         writer_private.insert(buf, upto, self)
         if writer_shared is not None:
             writer_shared.insert(buf, upto, self)

@@ -124,9 +124,10 @@ class WaitRecord:
     @property
     def group(self) -> str:
         """Aggregation key: the target's name family (xhc.avail.7 ->
-        xhc.avail), mirroring SimProcess.wait_breakdown."""
-        name = self.target
-        return name.rsplit(".", 1)[0] if "." in name else name
+        xhc.avail), the same interning :attr:`Flag.wait_key` uses, so
+        span groups and ``SimProcess.wait_breakdown`` rows line up."""
+        from ..sim.syncobj import wait_group
+        return wait_group(self.target)
 
 
 class Observer:

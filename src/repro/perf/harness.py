@@ -1,0 +1,252 @@
+"""The perf suite: engine/pricing microbenches + the reference macro.
+
+Wall-clock measurement is deliberately simple — ``time.perf_counter``
+around the work, minimum over ``repeats`` — because the suite's job is
+trend detection with headroom, not publishable numbers. Every reported
+record carries both wall and CPU time: on a noisy box the CPU number is
+the steadier of the two, and the emitted BENCH record documents which
+one a threshold was set against.
+
+This module is the one sanctioned wall-clock user inside ``src/repro``
+(simulated code must not read the clock — lint rule RC101); measuring
+the simulator from the outside is exactly the exception.
+"""
+
+from __future__ import annotations
+
+import time  # lint: disable=RC101 - perf harness measures wall clock
+
+from ..sim import primitives as P
+
+# The reference macro workload (ISSUE 5 acceptance): the pipelined-large
+# message range where per-chunk engine overhead dominates, both
+# collective shapes, one full socket, observe/check off.
+MACRO_SIZES = (65536, 131072, 262144, 524288, 1048576)
+MACRO_KINDS = ("bcast", "allreduce")
+MACRO_SYSTEM = "epyc-1p"
+MACRO_NRANKS = 32
+MACRO_ITERS = 5
+
+QUICK_SIZES = (65536, 1048576)
+QUICK_ITERS = 2
+
+# CI floor for the engine microbench (events/second, CPU time). The
+# optimized engine clears ~10x this on the reference runner; the floor
+# only exists to catch order-of-magnitude event-loop regressions, so it
+# is set with wide headroom rather than close to the measured rate.
+ENGINE_EVENTS_PER_SEC_FLOOR = 30_000.0
+
+
+# -- engine microbench -------------------------------------------------------
+
+def _storm_node():
+    from ..exec.worker import get_topology
+    from ..node import Node
+    return Node(get_topology(MACRO_SYSTEM))
+
+
+def run_engine_micro(rounds: int = 2000, nprocs: int = 8,
+                     repeats: int = 3) -> dict:
+    """A synthetic event storm through the bare engine.
+
+    ``nprocs`` processes on distinct cores run a flag ring: each round,
+    process ``i`` stores its round number into its own flag, waits on its
+    left neighbour's flag, and does a tiny compute. Exercises exactly the
+    per-event machinery the fast path optimizes (heap, handler dispatch,
+    wait satisfaction, flag wake) with no pricing variance, so the
+    events/second number isolates event-loop overhead.
+    """
+    from ..sim.syncobj import Flag
+
+    best_wall = best_cpu = float("inf")
+    events = 0
+    for _ in range(repeats):
+        node = _storm_node()
+        flags = [Flag(f"perf.ring.{i}", owner_core=i)
+                 for i in range(nprocs)]
+
+        def ring(me: int):
+            left = flags[me - 1]
+            mine = flags[me]
+            for r in range(1, rounds + 1):
+                yield P.SetFlag(mine, r)
+                yield P.WaitFlag(left, r)
+                yield P.Compute(1e-9)
+
+        for i in range(nprocs):
+            node.engine.spawn(ring(i), core=i, name=f"ring{i}")
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        node.engine.run()
+        wall = time.perf_counter() - wall0
+        cpu = time.process_time() - cpu0
+        events = node.engine.events_processed
+        if wall < best_wall:
+            best_wall = wall
+        if cpu < best_cpu:
+            best_cpu = cpu
+    return {
+        "events": events,
+        "wall_s": best_wall,
+        "cpu_s": best_cpu,
+        "events_per_sec": events / best_cpu if best_cpu > 0 else 0.0,
+    }
+
+
+# -- pricing microbench ------------------------------------------------------
+
+def run_pricing_micro(calls: int = 20000, repeats: int = 3) -> dict:
+    """``plan_copy_span`` throughput, memoized vs cold.
+
+    Prices the same steady-state chunk read repeatedly — the shape the
+    span-signature memo is built for — then repeats it with the memo
+    disabled. The ratio is the memo's measured win; a collapse toward
+    1.0 means the key shape regressed (every call missing).
+    """
+    def measure(memo_enabled: bool) -> float:
+        node = _storm_node()
+        node._pricing_memo_enabled = memo_enabled
+        sp = node.new_address_space(0, 0)
+        src = sp.alloc("perf.src", 1 << 20)
+        dst = sp.alloc("perf.dst", 1 << 20)
+        # Warm the cache state once so the signature is stable.
+        plan = node.plan_copy_span
+        _d, _r, complete = plan(1, src, 0, 16384, dst, 0, 16384, 1.0)
+        if complete is not None:
+            complete()
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.process_time()
+            for _i in range(calls):
+                plan(1, src, 0, 16384, dst, 0, 16384, 1.0)
+            t = time.process_time() - t0
+            if t < best:
+                best = t
+        return calls / best if best > 0 else 0.0
+
+    memo_rate = measure(True)
+    cold_rate = measure(False)
+    return {
+        "calls": calls,
+        "memo_calls_per_sec": memo_rate,
+        "cold_calls_per_sec": cold_rate,
+        "memo_speedup": memo_rate / cold_rate if cold_rate > 0 else 0.0,
+    }
+
+
+# -- macro workload ----------------------------------------------------------
+
+def run_macro(quick: bool = False, repeats: int = 1) -> dict:
+    """The reference collective workload; wall time is the headline.
+
+    Runs every (kind, size) point of the ISSUE 5 macro sweep with
+    observe/check off (the throughput configuration sweeps actually
+    use). ``repeats`` takes the minimum over whole-sweep repetitions.
+    """
+    from ..bench.components import make_component
+    from ..bench.osu import run_collective
+
+    sizes = QUICK_SIZES if quick else MACRO_SIZES
+    iters = QUICK_ITERS if quick else MACRO_ITERS
+    points = []
+    best_wall = best_cpu = float("inf")
+    for _ in range(max(1, repeats)):
+        run_points = []
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        for kind in MACRO_KINDS:
+            for size in sizes:
+                t0 = time.perf_counter()
+                lat = run_collective(
+                    kind, MACRO_SYSTEM, MACRO_NRANKS,
+                    lambda: make_component("xhc-tree"),
+                    size, warmup=1, iters=iters, modify=True,
+                )
+                run_points.append({
+                    "kind": kind,
+                    "size": size,
+                    "latency_us": lat * 1e6,
+                    "wall_s": time.perf_counter() - t0,
+                })
+        wall = time.perf_counter() - wall0
+        cpu = time.process_time() - cpu0
+        if wall < best_wall:
+            best_wall, points = wall, run_points
+        if cpu < best_cpu:
+            best_cpu = cpu
+    return {
+        "system": MACRO_SYSTEM,
+        "nranks": MACRO_NRANKS,
+        "iters": iters,
+        "sizes": list(sizes),
+        "kinds": list(MACRO_KINDS),
+        "quick": quick,
+        "points": points,
+        "wall_s": best_wall,
+        "cpu_s": best_cpu,
+    }
+
+
+def profile_macro(quick: bool = True, top: int = 25) -> str:
+    """cProfile the macro workload; returns the formatted hot list."""
+    import cProfile
+    import io
+    import pstats
+
+    pr = cProfile.Profile()
+    pr.enable()
+    run_macro(quick=quick)
+    pr.disable()
+    out = io.StringIO()
+    pstats.Stats(pr, stream=out).sort_stats("tottime").print_stats(top)
+    return out.getvalue()
+
+
+# -- record assembly ---------------------------------------------------------
+
+def emit_record(engine: dict, pricing: dict, macro: dict,
+                baseline_wall_s: float | None = None,
+                baseline_cpu_s: float | None = None,
+                note: str = "") -> dict:
+    """The BENCH_<n>.json payload for one perf-suite run.
+
+    ``baseline_*`` are reference macro times for the same workload
+    measured on the *pre-optimization* tree on the same machine in the
+    same session (interleaved runs; see docs/performance.md for why
+    anything else is noise) — when given, the record carries the
+    computed speedups.
+    """
+    from ..exec.cache import SIM_VERSION
+
+    payload: dict = {
+        "bench_schema": 1,
+        "kind": "perf",
+        "title": "repro perf suite (engine/pricing micro + macro)",
+        "sim_version": SIM_VERSION,
+        "engine_micro": engine,
+        "pricing_micro": pricing,
+        "macro": macro,
+        "floor_events_per_sec": ENGINE_EVENTS_PER_SEC_FLOOR,
+    }
+    if baseline_wall_s is not None:
+        payload["baseline"] = {
+            "macro_wall_s": baseline_wall_s,
+            "macro_cpu_s": baseline_cpu_s,
+            "speedup_wall": (baseline_wall_s / macro["wall_s"]
+                             if macro["wall_s"] > 0 else 0.0),
+        }
+        if baseline_cpu_s is not None:
+            payload["baseline"]["speedup_cpu"] = (
+                baseline_cpu_s / macro["cpu_s"]
+                if macro["cpu_s"] > 0 else 0.0)
+    if note:
+        payload["note"] = note
+    return payload
+
+
+def run_perf(quick: bool = False, macro_repeats: int = 1) -> dict:
+    """Run the full suite; returns {engine, pricing, macro}."""
+    engine = run_engine_micro(rounds=500 if quick else 2000)
+    pricing = run_pricing_micro(calls=5000 if quick else 20000)
+    macro = run_macro(quick=quick, repeats=macro_repeats)
+    return {"engine": engine, "pricing": pricing, "macro": macro}

@@ -62,6 +62,11 @@ class SmscEndpoint:
             "smsc.bytes", "bytes moved by single-copy transfers")
         self._m_reduces = metrics.counter(
             "smsc.reduces", "direct reductions over peer buffers")
+        # Hoisted hot-loop constants: the mechanism never changes after
+        # construction, and the regcache-hit Compute primitive is frozen,
+        # so one shared instance serves every pipelined chunk.
+        self._mech = self.config.mechanism
+        self._lookup_prim = P.Compute(node.model.regcache_lookup_cost)
 
     @property
     def xpmem(self) -> "XpmemService":
@@ -104,6 +109,78 @@ class SmscEndpoint:
 
     # -- transfers -----------------------------------------------------------
 
+    def copy_from_steps(self, src: "BufView",
+                        dst: "BufView") -> "tuple | None":
+        """The pull as a tuple of primitives, when no kernel transition is
+        needed — the peer buffer is our own, pre-mapped shared memory, or
+        an attachment already in the registration cache.
+
+        Emits exactly what :meth:`copy_from` would yield in those cases
+        (so callers may splice the steps into a
+        :class:`~repro.sim.primitives.CopyBatch` without changing the
+        simulated timeline); returns None — with **no** side effects —
+        whenever the slow generator path (attach/detach, kernel copy)
+        must run instead.
+        """
+        if self._mech != "xpmem":
+            return None
+        buf = src.buf
+        if buf.owner_rank == self.rank or buf.shared:
+            self._m_copies.inc()
+            self._m_bytes.inc(src.length)
+            return (P.Copy(src=src, dst=dst),)
+        if self.config.use_regcache and self.regcache.contains(buf):
+            self.regcache.lookup(buf)  # accounted hit + LRU refresh
+            self._m_copies.inc()
+            self._m_bytes.inc(src.length)
+            return (self._lookup_prim, P.Copy(src=src, dst=dst))
+        return None
+
+    def reduce_from_steps(self, srcs: Sequence["BufView"], dst: "BufView",
+                          op: Callable[..., Any] | None = None,
+                          dtype: Any = None,
+                          accumulate: bool = False) -> "tuple | None":
+        """The direct reduction as a tuple of primitives, when every
+        operand is already addressable (own/shared memory or a cached
+        attachment) — the batch-spliceable analogue of
+        :meth:`reduce_from`, mirroring :meth:`copy_from_steps`. Returns
+        None with no side effects when any operand would need the slow
+        attach path."""
+        if self._mech != "xpmem":
+            return None
+        rank = self.rank
+        use_rc = self.config.use_regcache
+        regcache = self.regcache
+        lookups = 0
+        for view in srcs:
+            buf = view.buf
+            if buf.owner_rank == rank or buf.shared:
+                continue
+            if use_rc and regcache.contains(buf):
+                lookups += 1
+                continue
+            return None
+        buf = dst.buf
+        if not (buf.owner_rank == rank or buf.shared):
+            if use_rc and regcache.contains(buf):
+                lookups += 1
+            else:
+                return None
+        # Commit: account the hits exactly as map_peer would have.
+        for view in srcs:
+            buf = view.buf
+            if not (buf.owner_rank == rank or buf.shared):
+                regcache.lookup(buf)
+        buf = dst.buf
+        if not (buf.owner_rank == rank or buf.shared):
+            regcache.lookup(buf)
+        self._m_reduces.inc()
+        reduce = P.Reduce(srcs=tuple(srcs), dst=dst, op=op, dtype=dtype,
+                          accumulate=accumulate)
+        if lookups == 0:
+            return (reduce,)
+        return (self._lookup_prim,) * lookups + (reduce,)
+
     def copy_from(self, src: "BufView", dst: "BufView") -> Iterator:
         """Single-copy ``src`` (a peer's buffer) into local ``dst``."""
         mech = self.config.mechanism
@@ -112,6 +189,12 @@ class SmscEndpoint:
         self._m_copies.inc()
         self._m_bytes.inc(src.length)
         if mech == "xpmem":
+            buf = src.buf
+            if buf.owner_rank == self.rank or buf.shared:
+                # Pre-mapped: no attach, no detach — skip the generator
+                # delegation entirely (hot on every pipelined pull).
+                yield P.Copy(src=src, dst=dst)
+                return
             yield from self.map_peer(src)
             yield P.Copy(src=src, dst=dst)
             yield from self._unmap_if_uncached(src)

@@ -12,6 +12,21 @@ which implements:
     -> absolute completion time of a line fetch started at ``t``
 ``syscall_cost(kind)``, ``page_fault_cost(npages)``, ``store_cost``,
 ``atomic_cost(core, line, now)`` -> ``(start, duration)``
+
+A pricer may additionally expose ``plan_copy_span(core, src_buf, src_off,
+src_len, dst_buf, dst_off, nbytes, bw_factor)`` — the allocation-free copy
+pricing entry the fast path uses to split oversized copies without
+materializing per-quantum ``Copy``/``BufView`` objects. It must price
+exactly like ``plan_copy`` over the equivalent sub-views (the golden
+latency tests pin this); pricers without it fall back to ``plan_copy``.
+
+Event-loop layout (see docs/performance.md): heap entries are
+``(time, seq, payload)`` where the payload is either a callback or a
+:class:`SimProcess` — a process payload means "resume with ``None``",
+which covers the overwhelming majority of events without allocating a
+closure per event. Handler dispatch goes through one of two tables:
+``_HANDLERS`` carries the observe/race/record hooks, ``_HANDLERS_FAST``
+is the branch-free variant selected when all of those are off.
 """
 
 from __future__ import annotations
@@ -19,7 +34,7 @@ from __future__ import annotations
 import enum
 import heapq
 import itertools
-from typing import Any, Callable, Generator
+from typing import Any, Callable, Generator, Optional
 
 from ..errors import DeadlockError, SimulationError
 from ..obs.spans import NULL_OBSERVER, NullObserver, Observer
@@ -33,13 +48,18 @@ class ProcState(enum.Enum):
     DONE = "done"
 
 
+_READY = ProcState.READY
+_BLOCKED = ProcState.BLOCKED
+_DONE = ProcState.DONE
+
+
 class SimProcess:
     """One simulated flow of control, pinned to a core."""
 
     _ids = itertools.count()
 
     __slots__ = ("pid", "name", "core", "gen", "state", "result",
-                 "finish_time", "blocked_on", "blocked_obj", "waking",
+                 "finish_time", "blocked_obj", "blocked_value", "waking",
                  "blocked_since", "wait_time", "wait_breakdown")
 
     def __init__(self, name: str, core: int,
@@ -51,19 +71,29 @@ class SimProcess:
         self.state = ProcState.READY
         self.result: Any = None
         self.finish_time: float | None = None
-        self.blocked_on: str | None = None
         # The Flag/Atomic this process is blocked on (deadlock analysis
-        # needs the object, not just the display string), and whether a
-        # satisfying write already scheduled its resume — a proc with
-        # ``waking`` set is still BLOCKED but no longer waiting on anyone.
+        # needs the object, not just a display string) plus the threshold
+        # it waits for, and whether a satisfying write already scheduled
+        # its resume — a proc with ``waking`` set is still BLOCKED but no
+        # longer waiting on anyone.
         self.blocked_obj: Any = None
+        self.blocked_value: int = 0
         self.waking: bool = False
         self.blocked_since: float = 0.0
         # Total time spent blocked on flags/atomics, and a breakdown by
-        # the waited object's name prefix (e.g. "xhc.avail") — the first
-        # place to look when asking *why* a rank was slow.
+        # the waited object's interned name family (``Flag.wait_key``,
+        # e.g. "flag xhc.avail") — the first place to look when asking
+        # *why* a rank was slow.
         self.wait_time: float = 0.0
         self.wait_breakdown: dict[str, float] = {}
+
+    @property
+    def blocked_on(self) -> str | None:
+        """Display string of the blocked target (None when not blocked)."""
+        obj = self.blocked_obj
+        if obj is None:
+            return None
+        return f"{obj.kind} {obj.name}>={self.blocked_value}"
 
     def __repr__(self) -> str:
         return f"<proc {self.name} core={self.core} {self.state.value}>"
@@ -75,7 +105,8 @@ class Engine:
     Observability is opt-in through the single ``observe`` knob:
 
     * ``None``/``False`` (default) — no recording beyond zero-cost
-      ``Trace`` annotations; the hot paths pay one boolean check.
+      ``Trace`` annotations; the hot paths run the branch-free fast
+      handler table.
     * ``True`` / ``"full"`` — attach an :class:`~repro.obs.spans.Observer`
       recording spans, waits (with wakers), copy spans and metrics; also
       enables the legacy per-copy trace records.
@@ -93,8 +124,8 @@ class Engine:
     ``observe``:
 
     * ``None``/``False`` (default) — no happens-before tracking; the hot
-      paths pay one boolean check. The drain-time deadlock report and the
-      run-loop watchdog stay on — a hung simulation is a bug regardless.
+      paths pay nothing. The drain-time deadlock report and the run-loop
+      watchdog stay on — a hung simulation is a bug regardless.
     * ``'race'`` — vector-clock race detection plus the XPMEM attachment
       protocol (:mod:`repro.check.race`); findings in ``checker.report()``.
     * ``'deadlock'`` — proactive wait-for-graph analysis at every block,
@@ -109,13 +140,15 @@ class Engine:
         self.pricer = pricer
         self.now = 0.0
         self._seq = itertools.count()
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._heap: list[tuple] = []
         self.processes: list[SimProcess] = []
         self.trace: list[tuple[float, str, dict]] = []
         self.record_copies = record_copies
         self.events_processed = 0
         self._running = False
         self._current_proc: SimProcess | None = None
+        # Allocation-free copy pricing, when the pricer provides it.
+        self._plan_span = getattr(pricer, "plan_copy_span", None)
         if observe is None or observe is False:
             self.obs: "Observer | NullObserver" = NULL_OBSERVER
         elif observe is True or observe == "full":
@@ -149,6 +182,7 @@ class Engine:
                 f"'deadlock' or 'full'"
             )
         self._race = self.checker is not None
+        self._handlers = self._pick_handlers()
         # Progress counter for the watchdog: bumped every time a process
         # generator actually advances. A window of watchdog_every events
         # with no progress means the run is spinning (livelock) or every
@@ -169,16 +203,26 @@ class Engine:
         # as it does inside a real single-threaded progress loop.
         self._core_busy: dict[int, float] = {}
 
+    def _pick_handlers(self) -> dict:
+        """The fast table only when every per-event hook is off."""
+        if (self._observe or self._race or self._dl_proactive
+                or self.record_copies):
+            return self._HANDLERS
+        return self._HANDLERS_FAST
+
     # CPU work shorter than this slips between booked work for free: a
     # few hundred nanoseconds of cache lookup or flag handling interleaves
     # with a compute phase without waiting for a scheduling slot.
     CPU_EPSILON = 2e-6
 
-    def _cpu_start(self, core: int, duration: float) -> float:
+    def _cpu_start(self, core: int, duration: float) -> float:  # hot-path
         if duration < self.CPU_EPSILON:
             return self.now
-        start = max(self.now, self._core_busy.get(core, 0.0))
-        self._core_busy[core] = start + duration
+        busy = self._core_busy
+        start = busy.get(core, 0.0)
+        if start < self.now:
+            start = self.now
+        busy[core] = start + duration
         return start
 
     # -- public API -----------------------------------------------------------
@@ -189,7 +233,7 @@ class Engine:
         if self._race:
             self.checker.on_spawn(
                 self._current_proc if self._running else None, proc)
-        self._schedule(self.now, lambda: self._resume(proc, None))
+        heapq.heappush(self._heap, (self.now, next(self._seq), proc))
         return proc
 
     def run(self, until: float | None = None) -> float:
@@ -197,25 +241,53 @@ class Engine:
         if self._running:
             raise SimulationError("engine is not reentrant")
         self._running = True
+        self._handlers = self._pick_handlers()
         progress_mark = self._progress
         next_watch = self.events_processed + self.watchdog_every
+        heap = self._heap
+        pop = heapq.heappop
+        resume = self._resume
         try:
-            while self._heap:
-                t, _, fn = heapq.heappop(self._heap)
-                if until is not None and t > until:
-                    heapq.heappush(self._heap, (t, next(self._seq), fn))
-                    self.now = until
-                    return self.now
-                if t < self.now - 1e-18:
-                    raise SimulationError("time went backwards")  # pragma: no cover
-                self.now = t
-                self.events_processed += 1
-                fn()
-                if self.events_processed >= next_watch:
-                    if self._progress == progress_mark:
-                        self._watchdog_fire()
-                    progress_mark = self._progress
-                    next_watch = self.events_processed + self.watchdog_every
+            if until is None:
+                # The common drain-to-quiescence loop, with the bounded
+                # variant's per-event `until` comparison compiled out.
+                while heap:
+                    t, _, fn = pop(heap)
+                    if t < self.now - 1e-18:
+                        raise SimulationError("time went backwards")  # pragma: no cover
+                    self.now = t
+                    self.events_processed += 1
+                    if fn.__class__ is SimProcess:
+                        resume(fn, None)
+                    else:
+                        fn()
+                    if self.events_processed >= next_watch:
+                        if self._progress == progress_mark:
+                            self._watchdog_fire()
+                        progress_mark = self._progress
+                        next_watch = (self.events_processed
+                                      + self.watchdog_every)
+            else:
+                while heap:
+                    t, _, fn = pop(heap)
+                    if t > until:
+                        heapq.heappush(heap, (t, next(self._seq), fn))
+                        self.now = until
+                        return self.now
+                    if t < self.now - 1e-18:
+                        raise SimulationError("time went backwards")  # pragma: no cover
+                    self.now = t
+                    self.events_processed += 1
+                    if fn.__class__ is SimProcess:
+                        resume(fn, None)
+                    else:
+                        fn()
+                    if self.events_processed >= next_watch:
+                        if self._progress == progress_mark:
+                            self._watchdog_fire()
+                        progress_mark = self._progress
+                        next_watch = (self.events_processed
+                                      + self.watchdog_every)
             self._check_deadlock()
             return self.now
         finally:
@@ -226,7 +298,8 @@ class Engine:
 
     # -- internals -------------------------------------------------------------
 
-    def _schedule(self, t: float, fn: Callable[[], None]) -> None:
+    def _schedule(self, t: float, fn) -> None:  # hot-path
+        """Queue ``fn`` at ``t``: a callback, or a SimProcess to resume."""
         heapq.heappush(self._heap, (t, next(self._seq), fn))
 
     def _check_deadlock(self) -> None:
@@ -275,18 +348,17 @@ class Engine:
                 cycle=info.cycle_names,
             )
 
-    def _resume(self, proc: SimProcess, send_value: Any) -> None:
-        if proc.state is ProcState.BLOCKED:
+    def _resume(self, proc: SimProcess, send_value: Any) -> None:  # hot-path
+        if proc.state is _BLOCKED:
             waited = self.now - proc.blocked_since
             proc.wait_time += waited
-            key = (proc.blocked_on or "?").split(">")[0].strip()
-            key = key.rsplit(".", 1)[0] if "." in key else key
-            proc.wait_breakdown[key] = \
-                proc.wait_breakdown.get(key, 0.0) + waited
+            obj = proc.blocked_obj
+            key = obj.wait_key if obj is not None else "?"
+            breakdown = proc.wait_breakdown
+            breakdown[key] = breakdown.get(key, 0.0) + waited
             if self._observe:
                 self.obs.end_wait(proc)
-        proc.state = ProcState.READY
-        proc.blocked_on = None
+        proc.state = _READY
         proc.blocked_obj = None
         proc.waking = False
         self._progress += 1
@@ -294,21 +366,29 @@ class Engine:
         try:
             prim = proc.gen.send(send_value)
         except StopIteration as stop:
-            proc.state = ProcState.DONE
+            proc.state = _DONE
             proc.result = stop.value
             proc.finish_time = self.now
             return
-        self._dispatch(proc, prim)
+        handler = self._handlers.get(prim.__class__)
+        if handler is None:
+            self._unknown_primitive(proc, prim)
+            return
+        handler(self, proc, prim)
 
     # -- primitive dispatch ------------------------------------------------
 
-    def _dispatch(self, proc: SimProcess, prim: Any) -> None:
-        handler = self._HANDLERS.get(type(prim))
+    def _dispatch(self, proc: SimProcess, prim: Any) -> None:  # hot-path
+        handler = self._handlers.get(prim.__class__)
         if handler is None:
-            raise SimulationError(
-                f"process {proc.name} yielded non-primitive {prim!r}"
-            )
+            self._unknown_primitive(proc, prim)
+            return
         handler(self, proc, prim)
+
+    def _unknown_primitive(self, proc: SimProcess, prim: Any) -> None:
+        raise SimulationError(
+            f"process {proc.name} yielded non-primitive {prim!r}"
+        )
 
     # Long compute phases are booked in slices so that concurrent tasks on
     # the same core (nonblocking-collective progress, XHC's helper roles)
@@ -316,26 +396,29 @@ class Engine:
     # progress periodically, or of OS timeslicing a progress thread.
     COMPUTE_QUANTUM = 50e-6
 
-    def _h_compute(self, proc: SimProcess, prim: P.Compute) -> None:
-        if prim.seconds < 0:
+    def _h_compute(self, proc: SimProcess, prim: P.Compute) -> None:  # hot-path
+        seconds = prim.seconds
+        if seconds < 0:
             raise SimulationError("negative compute time")
-        if prim.seconds <= self.COMPUTE_QUANTUM:
-            start = self._cpu_start(proc.core, prim.seconds)
-            self._schedule(start + prim.seconds,
-                           lambda: self._resume(proc, None))
+        if seconds <= self.COMPUTE_QUANTUM:
+            start = self._cpu_start(proc.core, seconds)
+            self._schedule(start + seconds, proc)
             return
-        self._compute_slice(proc, prim.seconds)
+        self._compute_slice(proc, seconds)
 
-    def _compute_slice(self, proc: SimProcess, remaining: float) -> None:
+    def _compute_slice(self, proc: SimProcess, remaining: float,
+                       then: Optional[Callable[[], None]] = None) -> None:
         slice_ = min(self.COMPUTE_QUANTUM, remaining)
         start = self._cpu_start(proc.core, slice_)
 
         def finish() -> None:
             left = remaining - slice_
             if left > 1e-15:
-                self._compute_slice(proc, left)
-            else:
+                self._compute_slice(proc, left, then)
+            elif then is None:
                 self._resume(proc, None)
+            else:
+                then()
 
         self._schedule(start + slice_, finish)
 
@@ -343,18 +426,25 @@ class Engine:
     # changing set of concurrent users (approximate fluid fair sharing).
     COPY_QUANTUM = 64 * 1024
 
+    # -- copy: full path (observe/race/record hooks live here) -------------
+
     def _h_copy(self, proc: SimProcess, prim: P.Copy) -> None:
+        self._full_copy(proc, prim, None)
+
+    def _full_copy(self, proc: SimProcess, prim: P.Copy,
+                   then: Optional[Callable[[], None]]) -> None:
         if self._race:
             self.checker.on_copy(proc, prim)
         if prim.nbytes > self.COPY_QUANTUM:
-            self._copy_quantum(proc, prim, 0)
+            self._copy_quantum(proc, prim, 0, then)
             return
         duration, resources, complete = self.pricer.plan_copy(
             proc.core, prim, self.now
         )
-        self._start_transfer(proc, prim, duration, resources, complete)
+        self._start_transfer(proc, prim, duration, resources, complete, then)
 
-    def _copy_quantum(self, proc: SimProcess, prim: P.Copy, done: int) -> None:
+    def _copy_quantum(self, proc: SimProcess, prim: P.Copy, done: int,
+                      then: Optional[Callable[[], None]] = None) -> None:
         total = prim.nbytes
         n = min(self.COPY_QUANTUM, total - done)
         sub = P.Copy(src=prim.src.sub(done, n), dst=prim.dst.sub(done, n),
@@ -380,14 +470,17 @@ class Engine:
             if complete is not None:
                 complete()
             if done + n < total:
-                self._copy_quantum(proc, prim, done + n)
+                self._copy_quantum(proc, prim, done + n, then)
             else:
                 if self.record_copies:
                     self.trace.append(
                         (self.now, "copy",
                          {"core": proc.core, "nbytes": total})
                     )
-                self._resume(proc, None)
+                if then is None:
+                    self._resume(proc, None)
+                else:
+                    then()
 
         if self._observe and self.obs.record_copies:
             self.obs.record(proc, "copy", "copy", start, start + duration,
@@ -404,9 +497,10 @@ class Engine:
         duration, resources, complete = self.pricer.plan_reduce(
             proc.core, prim, self.now
         )
-        self._start_transfer(proc, prim, duration, resources, complete)
+        self._start_transfer(proc, prim, duration, resources, complete, None)
 
-    def _start_transfer(self, proc, prim, duration, resources, complete) -> None:
+    def _start_transfer(self, proc, prim, duration, resources, complete,
+                        then) -> None:
         """Book the core, then hold the path resources only while the
         transfer actually runs — a transfer queued behind other work on
         its core must not inflate everyone else's contention meanwhile."""
@@ -433,7 +527,10 @@ class Engine:
                     (self.now, "copy",
                      {"core": proc.core, "nbytes": prim.nbytes})
                 )
-            self._resume(proc, None)
+            if then is None:
+                self._resume(proc, None)
+            else:
+                then()
 
         if self._observe and self.obs.record_copies:
             self.obs.record(
@@ -445,11 +542,182 @@ class Engine:
             begin()
         self._schedule(start + duration, finish)
 
-    def _h_set_flag(self, proc: SimProcess, prim: P.SetFlag) -> None:
+    # -- copy: fast path (observe/check/record all off) ---------------------
+    #
+    # Identical event schedule and pricing calls to the full path, minus
+    # the per-event hook branches and per-quantum Copy/BufView allocations.
+    # Bit-identity of the simulated times is pinned by the golden latency
+    # tests and the fast/full equivalence tests.
+
+    def _hf_copy(self, proc: SimProcess, prim: P.Copy) -> None:  # hot-path
+        self._fast_copy(proc, prim, None)
+
+    def _fast_copy(self, proc: SimProcess, prim: P.Copy,
+                   then: Optional[Callable[[], None]]) -> None:  # hot-path
+        src = prim.src
+        dst = prim.dst
+        nbytes = src.length
+        if dst.length < nbytes:
+            nbytes = dst.length
+        plan_span = self._plan_span
+        if plan_span is None:
+            self._full_copy(proc, prim, then)
+            return
+        if nbytes > self.COPY_QUANTUM:
+            self._fast_quantum(proc, prim, nbytes, 0, then)
+            return
+        duration, resources, complete = plan_span(
+            proc.core, src.buf, src.offset, src.length,
+            dst.buf, dst.offset, nbytes, prim.bw_factor)
+        self._fast_transfer(proc, prim.in_kernel, nbytes, duration,
+                            resources, complete, then)
+
+    def _fast_quantum(self, proc: SimProcess, prim: P.Copy, total: int,
+                      done: int, then) -> None:  # hot-path
+        n = total - done
+        if n > self.COPY_QUANTUM:
+            n = self.COPY_QUANTUM
+        src = prim.src
+        dst = prim.dst
+        duration, resources, complete = self._plan_span(
+            proc.core, src.buf, src.offset + done, n,
+            dst.buf, dst.offset + done, n, prim.bw_factor)
+        in_kernel = prim.in_kernel
+        pool = self.pricer.resources
+        start = self._cpu_start(proc.core, duration)
+
+        def finish() -> None:
+            for res in resources:
+                res.release()
+                res.bytes_served += n
+            if in_kernel:
+                pool.kernel_ops -= 1
+            if complete is not None:
+                complete()
+            if done + n < total:
+                self._fast_quantum(proc, prim, total, done + n, then)
+            elif then is None:
+                self._resume(proc, None)
+            else:
+                then()
+
+        if start > self.now:
+            def begin() -> None:
+                for res in resources:
+                    res.acquire()
+                if in_kernel:
+                    pool.kernel_ops += 1
+            self._schedule(start, begin)
+        else:
+            for res in resources:
+                res.acquire()
+            if in_kernel:
+                pool.kernel_ops += 1
+        self._schedule(start + duration, finish)
+
+    def _fast_transfer(self, proc, in_kernel, nbytes, duration, resources,
+                       complete, then) -> None:  # hot-path
+        pool = self.pricer.resources
+        start = self._cpu_start(proc.core, duration)
+
+        def finish() -> None:
+            for res in resources:
+                res.release()
+                res.bytes_served += nbytes
+            if in_kernel:
+                pool.kernel_ops -= 1
+            if complete is not None:
+                complete()
+            if then is None:
+                self._resume(proc, None)
+            else:
+                then()
+
+        heap = self._heap
+        seq = self._seq
+        if start > self.now:
+            def begin() -> None:
+                for res in resources:
+                    res.acquire()
+                if in_kernel:
+                    pool.kernel_ops += 1
+            heapq.heappush(heap, (start, next(seq), begin))
+        else:
+            for res in resources:
+                res.acquire()
+            if in_kernel:
+                pool.kernel_ops += 1
+        heapq.heappush(heap, (start + duration, next(seq), finish))
+
+    # -- copy batches --------------------------------------------------------
+
+    def _h_copy_batch(self, proc: SimProcess, prim: P.CopyBatch) -> None:
+        if not prim.steps:
+            self._resume(proc, None)
+            return
+        self._batch_step(proc, prim.steps, 0)
+
+    def _batch_step(self, proc: SimProcess, steps: tuple, i: int) -> None:  # hot-path
+        """Run step ``i``, continuing into ``i+1`` the instant it
+        completes — exactly the schedule a generator yielding the steps
+        one by one would produce, minus the generator round-trips. The
+        final step runs with ``then=None``, so its completion resumes the
+        process directly instead of bouncing through a closing
+        continuation."""
+        step = steps[i]
+        self._current_proc = proc
+        if i + 1 == len(steps):
+            then = None
+        else:
+            # One continuation per non-final step; a batch replaces the
+            # same number of generator resumes, so this is
+            # allocation-neutral at worst.
+            then = lambda: self._batch_step(proc, steps, i + 1)  # noqa: E731
+        cls = step.__class__
+        if cls is P.Copy:
+            if self._handlers is self._HANDLERS_FAST:
+                self._fast_copy(proc, step, then)
+            else:
+                self._full_copy(proc, step, then)
+        elif cls is P.SetFlag:
+            self._set_flag_exec(proc, step, then)
+        elif cls is P.SetFlagGroup:
+            self._set_flag_group_exec(proc, step, then)
+        elif cls is P.Compute:
+            seconds = step.seconds
+            if seconds < 0:
+                raise SimulationError("negative compute time")
+            if seconds <= self.COMPUTE_QUANTUM:
+                start = self._cpu_start(proc.core, seconds)
+                self._schedule(start + seconds,
+                               proc if then is None else then)
+            else:
+                self._compute_slice(proc, seconds, then)
+        elif cls is P.Reduce:
+            if self._race:
+                self.checker.on_reduce(proc, step)
+            duration, resources, complete = self.pricer.plan_reduce(
+                proc.core, step, self.now
+            )
+            self._start_transfer(proc, step, duration, resources, complete,
+                                 then)
+        else:
+            raise SimulationError(
+                f"CopyBatch steps must be Copy/Compute/Reduce/SetFlag/"  # lint: disable=RC106
+                f"SetFlagGroup, got {step!r}"
+            )
+
+    # -- flags ---------------------------------------------------------------
+
+    def _h_set_flag(self, proc: SimProcess, prim: P.SetFlag) -> None:  # hot-path
+        self._set_flag_exec(proc, prim, None)
+
+    def _set_flag_exec(self, proc: SimProcess, prim: P.SetFlag,
+                       then) -> None:  # hot-path
         flag = prim.flag
         if proc.core != flag.owner_core:
             raise SimulationError(
-                f"single-writer violation: core {proc.core} wrote flag "
+                f"single-writer violation: core {proc.core} wrote flag "  # lint: disable=RC106
                 f"{flag.name!r} owned by core {flag.owner_core}"
             )
         flag.value = prim.value
@@ -458,13 +726,18 @@ class Engine:
             self._m_flag_sets.inc()
         if self._race:
             self.checker.on_release(proc, flag)
-        self._wake_waiters(flag)
-        self._schedule(
-            self.now + self.pricer.store_cost, lambda: self._resume(proc, None)
-        )
+        if flag.waiters:
+            self._wake_waiters(flag)
+        heapq.heappush(self._heap,
+                       (self.now + self.pricer.store_cost, next(self._seq),
+                        proc if then is None else then))
 
     def _h_set_flag_group(self, proc: SimProcess,
                           prim: P.SetFlagGroup) -> None:
+        self._set_flag_group_exec(proc, prim, None)
+
+    def _set_flag_group_exec(self, proc: SimProcess, prim: P.SetFlagGroup,
+                             then) -> None:
         lines = []
         for flag in prim.flags:
             if proc.core != flag.owner_core:
@@ -482,9 +755,10 @@ class Engine:
         for flag in prim.flags:
             if self._race:
                 self.checker.on_release(proc, flag)
-            self._wake_waiters(flag)
+            if flag.waiters:
+                self._wake_waiters(flag)
         cost = self.pricer.store_cost * len(prim.flags)
-        self._schedule(self.now + cost, lambda: self._resume(proc, None))
+        self._schedule(self.now + cost, proc if then is None else then)
 
     def _h_wait_flag(self, proc: SimProcess, prim: P.WaitFlag) -> None:
         flag = prim.flag
@@ -492,17 +766,32 @@ class Engine:
             if self._race:
                 self.checker.on_acquire(proc, flag)
             t = self.pricer.line_read(proc.core, flag.line, self.now)
-            self._schedule(t, lambda: self._resume(proc, None))
+            self._schedule(t, proc)
         else:
-            proc.state = ProcState.BLOCKED
-            proc.blocked_on = f"flag {flag.name}>={prim.value}"
+            proc.state = _BLOCKED
             proc.blocked_obj = flag
+            proc.blocked_value = prim.value
             proc.blocked_since = self.now
             if self._observe:
                 self.obs.begin_wait(proc, flag.name, "flag")
             flag.waiters.append((proc, prim.value, prim.cmp))
             if self._dl_proactive:
                 self._deadlock_probe()
+
+    def _hf_wait_flag(self, proc: SimProcess, prim: P.WaitFlag) -> None:  # hot-path
+        flag = prim.flag
+        value = prim.value
+        cmp = prim.cmp
+        # Inlined Flag.satisfied for the ubiquitous ">=" compare.
+        if (flag.value >= value) if cmp == ">=" else flag.satisfied(value, cmp):
+            t = self.pricer.line_read(proc.core, flag.line, self.now)
+            heapq.heappush(self._heap, (t, next(self._seq), proc))
+        else:
+            proc.state = _BLOCKED
+            proc.blocked_obj = flag
+            proc.blocked_value = value
+            proc.blocked_since = self.now
+            flag.waiters.append((proc, value, cmp))
 
     def _h_atomic_rmw(self, proc: SimProcess, prim: P.AtomicRMW) -> None:
         atom = prim.atom
@@ -516,7 +805,8 @@ class Engine:
         old = atom.value
         atom.value = old + prim.delta
         line.on_write(proc.core)
-        self._wake_waiters(atom)
+        if atom.waiters:
+            self._wake_waiters(atom)
 
         def finish() -> None:
             line.pending_rmw -= 1
@@ -530,11 +820,11 @@ class Engine:
             if self._race:
                 self.checker.on_acquire(proc, atom)
             t = self.pricer.line_read(proc.core, atom.line, self.now)
-            self._schedule(t, lambda: self._resume(proc, None))
+            self._schedule(t, proc)
         else:
-            proc.state = ProcState.BLOCKED
-            proc.blocked_on = f"atomic {atom.name}>={prim.value}"
+            proc.state = _BLOCKED
             proc.blocked_obj = atom
+            proc.blocked_value = prim.value
             proc.blocked_since = self.now
             if self._observe:
                 self.obs.begin_wait(proc, atom.name, "atomic")
@@ -542,31 +832,59 @@ class Engine:
             if self._dl_proactive:
                 self._deadlock_probe()
 
-    def _wake_waiters(self, obj: Flag | Atomic) -> None:
-        if not obj.waiters:
-            return
-        still_blocked = []
-        for proc, threshold, cmp in obj.waiters:
-            if obj.satisfied(threshold, cmp):
-                if self._observe:
+    def _hf_wait_atomic(self, proc: SimProcess, prim: P.WaitAtomic) -> None:  # hot-path
+        atom = prim.atom
+        value = prim.value
+        cmp = prim.cmp
+        if (atom.value >= value) if cmp == ">=" else atom.satisfied(value, cmp):
+            t = self.pricer.line_read(proc.core, atom.line, self.now)
+            heapq.heappush(self._heap, (t, next(self._seq), proc))
+        else:
+            proc.state = _BLOCKED
+            proc.blocked_obj = atom
+            proc.blocked_value = value
+            proc.blocked_since = self.now
+            atom.waiters.append((proc, value, cmp))
+
+    def _wake_waiters(self, obj: Flag | Atomic) -> None:  # hot-path
+        still_blocked = None
+        val = obj.value
+        line = obj.line
+        now = self.now
+        heap = self._heap
+        seq = self._seq
+        line_read = self.pricer.line_read
+        observe = self._observe
+        race = self._race
+        for entry in obj.waiters:
+            proc, threshold, cmp = entry
+            if (val >= threshold) if cmp == ">=" \
+                    else obj.satisfied(threshold, cmp):
+                if observe:
                     self.obs.note_waker(proc, self._current_proc)
                     self._m_wakeups.inc()
-                if self._race:
+                if race:
                     self.checker.on_acquire(proc, obj)
                 proc.waking = True
-                t = self.pricer.line_read(proc.core, obj.line, self.now)
-                self._schedule(t, lambda p=proc: self._resume(p, None))
+                heapq.heappush(
+                    heap, (line_read(proc.core, line, now), next(seq), proc))
             else:
-                still_blocked.append((proc, threshold, cmp))
-        obj.waiters[:] = still_blocked
+                if still_blocked is None:
+                    still_blocked = []  # lint: disable=RC106
+                still_blocked.append(entry)
+        if still_blocked is None:
+            obj.waiters.clear()
+        else:
+            obj.waiters[:] = still_blocked
 
-    def _h_syscall(self, proc: SimProcess, prim: P.Syscall) -> None:
+    def _h_syscall(self, proc: SimProcess, prim: P.Syscall) -> None:  # hot-path
         cost = self.pricer.syscall_cost(prim.kind)
-        self._schedule(self.now + cost, lambda: self._resume(proc, None))
+        heapq.heappush(self._heap,
+                       (self.now + cost, next(self._seq), proc))
 
     def _h_page_faults(self, proc: SimProcess, prim: P.PageFaults) -> None:
         cost = self.pricer.page_fault_cost(prim.npages)
-        self._schedule(self.now + cost, lambda: self._resume(proc, None))
+        self._schedule(self.now + cost, proc)
 
     def _h_trace(self, proc: SimProcess, prim: P.Trace) -> None:
         self.trace.append((self.now, prim.label, prim.meta))
@@ -574,12 +892,14 @@ class Engine:
             self.obs.instant(proc, prim.label, prim.meta)
         self._resume(proc, None)
 
-    _HANDLERS: dict[type, Callable] = {}
+    _HANDLERS: dict = {}
+    _HANDLERS_FAST: dict = {}
 
 
 Engine._HANDLERS = {
     P.Compute: Engine._h_compute,
     P.Copy: Engine._h_copy,
+    P.CopyBatch: Engine._h_copy_batch,
     P.Reduce: Engine._h_reduce,
     P.SetFlag: Engine._h_set_flag,
     P.SetFlagGroup: Engine._h_set_flag_group,
@@ -590,3 +910,12 @@ Engine._HANDLERS = {
     P.PageFaults: Engine._h_page_faults,
     P.Trace: Engine._h_trace,
 }
+
+# The fast table shares every handler that carries no per-event hook and
+# swaps in stripped variants for the four hottest ones.
+Engine._HANDLERS_FAST = dict(Engine._HANDLERS)
+Engine._HANDLERS_FAST.update({
+    P.Copy: Engine._hf_copy,
+    P.WaitFlag: Engine._hf_wait_flag,
+    P.WaitAtomic: Engine._hf_wait_atomic,
+})

@@ -15,14 +15,14 @@ if TYPE_CHECKING:  # pragma: no cover
     from .syncobj import Atomic, Flag
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Compute:
     """Occupy the CPU for a fixed simulated duration."""
 
     seconds: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Copy:
     """Copy ``nbytes`` from ``src`` to ``dst``, executed by this process's core.
 
@@ -43,7 +43,32 @@ class Copy:
         return min(self.src.length, self.dst.length)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
+class CopyBatch:
+    """A pipeline segment executed back-to-back inside the engine.
+
+    ``steps`` is a tuple of :class:`Copy` / :class:`Compute` /
+    :class:`Reduce` / :class:`SetFlag` / :class:`SetFlagGroup`
+    primitives; the engine runs
+    each step exactly as if the process had yielded it and started the
+    next the instant the previous one completed. A generator yielding the
+    same steps one at a time produces the identical event sequence — the
+    only thing a batch removes is the zero-simulated-cost generator
+    round-trip between steps, so batching can never change simulated
+    time. Waits may NOT appear in a batch: a satisfied wait still costs a
+    line fetch, so eliding one would change the timeline; primitives that
+    send a value back (:class:`AtomicRMW`) are excluded for the same
+    reason batches exist — there is no generator frame to receive it.
+    """
+
+    steps: tuple
+
+    @property
+    def nbytes(self) -> int:
+        return sum(s.nbytes for s in self.steps if isinstance(s, Copy))
+
+
+@dataclass(frozen=True, slots=True)
 class Reduce:
     """Fetch every source view and reduce them into ``dst``.
 
@@ -64,7 +89,7 @@ class Reduce:
         return self.dst.length
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SetFlag:
     """Single-writer flag update (store + peer-copy invalidation)."""
 
@@ -72,7 +97,7 @@ class SetFlag:
     value: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SetFlagGroup:
     """Back-to-back single-writer updates of several same-owner flags.
 
@@ -85,7 +110,7 @@ class SetFlagGroup:
     value: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WaitFlag:
     """Block until ``flag`` satisfies ``value`` under ``cmp``.
 
@@ -99,7 +124,7 @@ class WaitFlag:
     cmp: str = ">="
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AtomicRMW:
     """Atomic fetch-and-add; the engine sends the *old* value back."""
 
@@ -107,7 +132,7 @@ class AtomicRMW:
     delta: int = 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WaitAtomic:
     """Block until the atomic's value satisfies ``value`` under ``cmp``."""
 
@@ -116,7 +141,7 @@ class WaitAtomic:
     cmp: str = ">="
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Syscall:
     """Enter the kernel. ``kind`` selects the mechanism-specific cost and
     whether the call contends on kernel locks (CMA/KNEM, per [28])."""
@@ -124,14 +149,14 @@ class Syscall:
     kind: str = "generic"  # generic | cma | knem | xpmem_attach | xpmem_detach
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PageFaults:
     """First-touch page faults of a fresh XPMEM mapping."""
 
     npages: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Trace:
     """Zero-cost annotation recorded in the engine trace (Table II counts)."""
 

@@ -29,6 +29,10 @@ class RunStats:
     xpmem_detaches: int = 0
     messages: int = 0
     message_bytes: int = 0
+    # Blocked time per wait family, merged across all processes by the
+    # interned ``wait_key`` (``flag xhc.avail``, ``atomic sm.ctr`` — rank
+    # suffixes already stripped), so one family is one row.
+    wait_breakdown: dict[str, float] = field(default_factory=dict)
     # Metrics-registry snapshot (empty unless the run was observed).
     metrics: dict[str, object] = field(default_factory=dict)
 
@@ -52,6 +56,13 @@ class RunStats:
             f"logical messages   {self.messages:12d} "
             f"({self.message_bytes} bytes)",
         ]
+        if self.wait_breakdown:
+            lines.append("")
+            lines.append("blocked time by wait family")
+            rows = sorted(self.wait_breakdown.items(),
+                          key=lambda kv: -kv[1])
+            for key, t in rows[:8]:
+                lines.append(f"  {key:<34}{t * 1e6:14.2f} us")
         if self.metrics:
             lines.append("")
             lines.append(f"metrics ({len(self.metrics)} registered)")
@@ -79,6 +90,10 @@ def collect_stats(node: "Node") -> RunStats:
     msgs = [m for _t, label, m in engine.trace if label == "message"]
     done = sum(1 for p in engine.processes
                if p.finish_time is not None)
+    waits: dict[str, float] = {}
+    for proc in engine.processes:
+        for key, t in proc.wait_breakdown.items():
+            waits[key] = waits.get(key, 0.0) + t
     obs = engine.obs
     return RunStats(
         sim_time=engine.now,
@@ -91,5 +106,6 @@ def collect_stats(node: "Node") -> RunStats:
         xpmem_detaches=node.xpmem.detaches,
         messages=len(msgs),
         message_bytes=sum(m.get("nbytes", 0) for m in msgs),
+        wait_breakdown=waits,
         metrics=obs.metrics.snapshot() if obs.enabled else {},
     )

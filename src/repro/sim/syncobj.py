@@ -59,17 +59,36 @@ class Line:
         self.shared_holders.clear()
 
 
+def wait_group(name: str) -> str:
+    """The aggregation family of a sync-object name.
+
+    Flag names embed rank numbers (``xhc.avail.3``, ``xhc.ready.3.l2``);
+    dropping the purely-numeric dot segments merges all ranks' flags into
+    one family (``xhc.avail``, ``xhc.ready.l2``) for wait breakdowns. A
+    name whose segments are all numeric is kept as-is.
+    """
+    if "." not in name:
+        return name
+    kept = [seg for seg in name.split(".") if not seg.isdigit()]
+    return ".".join(kept) if kept else name
+
+
 class Flag:
     """Single-writer, multi-reader control flag.
 
     ``owner_core`` is fixed at creation; only the owner may ``SetFlag``.
     Several flags may share one :class:`Line` (the Fig. 10 experiment), in
     which case a write to any of them invalidates readers of all of them.
+
+    ``wait_key`` is the interned wait-breakdown key (computed once here so
+    the engine's resume path never allocates strings per blocked wait).
     """
 
     _ids = itertools.count()
+    kind = "flag"
 
-    __slots__ = ("id", "name", "owner_core", "line", "value", "waiters")
+    __slots__ = ("id", "name", "owner_core", "line", "value", "waiters",
+                 "wait_key")
 
     def __init__(self, name: str, owner_core: int, line: Line | None = None):
         self.id = next(Flag._ids)
@@ -79,6 +98,7 @@ class Flag:
         self.value = 0
         # Blocked readers: (process, threshold, cmp).
         self.waiters: list[tuple["SimProcess", int, str]] = []
+        self.wait_key = "flag " + wait_group(name)
 
     def satisfied(self, threshold: int, cmp: str) -> bool:
         return _compare(self.value, threshold, cmp)
@@ -98,8 +118,9 @@ class Atomic:
     """A counter updated with atomic read-modify-write operations."""
 
     _ids = itertools.count()
+    kind = "atomic"
 
-    __slots__ = ("id", "name", "line", "value", "waiters")
+    __slots__ = ("id", "name", "line", "value", "waiters", "wait_key")
 
     def __init__(self, name: str, home_core: int, line: Line | None = None):
         self.id = next(Atomic._ids)
@@ -107,6 +128,7 @@ class Atomic:
         self.line = line if line is not None else Line(home_core)
         self.value = 0
         self.waiters: list[tuple["SimProcess", int, str]] = []
+        self.wait_key = "atomic " + wait_group(name)
 
     def satisfied(self, threshold: int, cmp: str) -> bool:
         return _compare(self.value, threshold, cmp)

@@ -117,7 +117,13 @@ class Timeline:
 
 
 def wait_report(engine: "Engine", top: int = 10) -> list[dict]:
-    """Where ranks spent their blocked time, aggregated by wait target.
+    """Where ranks spent their blocked time, aggregated by wait family.
+
+    Keys are the interned ``wait_key`` families computed once at sync-
+    object creation (``flag xhc.avail``, rank suffixes stripped by
+    :func:`~repro.sim.syncobj.wait_group`), so every rank's wait on the
+    same flag family lands in one row — no per-block string formatting in
+    the engine, and no duplicate rows differing only by rank suffix.
 
     The first diagnostic for "why is this collective slow": a dominant
     ``xhc.avail`` entry means ranks starve on fan-out progress, a dominant

@@ -161,15 +161,24 @@ class Xhc(CollComponent):
             self._avail_multi[key] = flag
         return flag
 
-    def _set_avail(self, comm, hier: Hierarchy, me: int,
-                   value: int) -> Iterator:
+    def _avail_prim(self, comm, hier: Hierarchy, me: int, value: int):
+        """The primitive :meth:`_set_avail` would yield, or None (multi
+        layout with no children). Lets the pipelined hot loops splice the
+        availability announcement into a :class:`~repro.sim.primitives.
+        CopyBatch` instead of delegating to a generator per chunk."""
         if self.cfg.flag_layout == "single":
-            yield P.SetFlag(self.avail[me], value)
-            return
+            return P.SetFlag(self.avail[me], value)
         flags = tuple(self._multi_flag(comm, me, child)
                       for child, _level in hier.children(me))
         if flags:
-            yield P.SetFlagGroup(flags, value)
+            return P.SetFlagGroup(flags, value)
+        return None
+
+    def _set_avail(self, comm, hier: Hierarchy, me: int,
+                   value: int) -> Iterator:
+        prim = self._avail_prim(comm, hier, me, value)
+        if prim is not None:
+            yield prim
 
     def _wait_avail(self, comm, parent: int, me: int, value: int) -> Iterator:
         if self.cfg.flag_layout == "single":
@@ -204,13 +213,19 @@ class Xhc(CollComponent):
             yield from self._cico_entry(comm, hier, me, led)
         if me == root:
             if small:
-                yield P.Copy(src=view,
-                             dst=self.cico_res[me][parity].sub(0, nbytes))
+                copy = P.Copy(src=view,
+                              dst=self.cico_res[me][parity].sub(0, nbytes))
+                prim = self._avail_prim(comm, hier, me,
+                                        led["avail"][me] + nbytes)
+                if prim is None:
+                    yield copy
+                else:
+                    yield P.CopyBatch((copy, prim))
             else:
                 self._pub_fan[me] = view
                 yield from comm.node.xpmem.expose(view.buf)
-            yield from self._set_avail(comm, hier, me,
-                                       led["avail"][me] + nbytes)
+                yield from self._set_avail(comm, hier, me,
+                                           led["avail"][me] + nbytes)
         else:
             if not small and hier.children(me):
                 self._pub_fan[me] = view
@@ -257,36 +272,60 @@ class Xhc(CollComponent):
         has_children = bool(hier.children(me))
         avail_base_p = led["avail"][parent]
         avail_base_me = led["avail"][me]
+        # The per-chunk wait flag and availability primitive never change
+        # across the loop, so resolve them once and yield the primitives
+        # directly — delegating to the _wait_avail/_set_avail generators
+        # costs two round-trips per chunk at zero simulated time.
+        if self.cfg.flag_layout == "single":
+            wait_flag = self.avail[parent]
+            my_avail = self.avail[me]
+            mk_avail = ((lambda v: P.SetFlag(my_avail, v))
+                        if has_children else None)
+        else:
+            wait_flag = self._multi_flag(comm, parent, me)
+            my_flags = tuple(self._multi_flag(comm, me, child)
+                             for child, _level in hier.children(me))
+            mk_avail = ((lambda v: P.SetFlagGroup(my_flags, v))
+                        if my_flags else None)
         got = 0
         with comm.node.obs.span("xhc.fanout", rank=me, parent=parent,
                                 level=level, nbytes=nbytes, chunk=chunk):
             while got < nbytes:
                 n = min(chunk, nbytes - got)
-                yield from self._wait_avail(comm, parent, me,
-                                            avail_base_p + got + n)
+                yield P.WaitFlag(wait_flag, avail_base_p + got + n)
                 if small:
                     src = self.cico_res[parent][parity].sub(got, n)
                     if has_children:
-                        yield P.Copy(
-                            src=src,
-                            dst=self.cico_res[me][parity].sub(got, n))
+                        mine = self.cico_res[me][parity]
                         got += n
-                        yield from self._set_avail(comm, hier, me,
-                                                   avail_base_me + got)
-                        yield P.Copy(
-                            src=self.cico_res[me][parity].sub(got - n, n),
-                            dst=dst_view.sub(got - n, n))
+                        steps = [P.Copy(src=src,
+                                        dst=mine.sub(got - n, n))]
+                        if mk_avail is not None:
+                            steps.append(mk_avail(avail_base_me + got))
+                        steps.append(P.Copy(src=mine.sub(got - n, n),
+                                            dst=dst_view.sub(got - n, n)))
+                        yield P.CopyBatch(tuple(steps))
                     else:
                         yield P.Copy(src=src, dst=dst_view.sub(got, n))
                         got += n
                 else:
                     pview = self._pub_fan[parent]
-                    yield from ctx.smsc.copy_from(pview.sub(got, n),
-                                                  dst_view.sub(got, n))
-                    got += n
-                    if has_children:
-                        yield from self._set_avail(comm, hier, me,
-                                                   avail_base_me + got)
+                    src = pview.sub(got, n)
+                    dst = dst_view.sub(got, n)
+                    steps = ctx.smsc.copy_from_steps(src, dst)
+                    if steps is None:
+                        yield from ctx.smsc.copy_from(src, dst)
+                        got += n
+                        if mk_avail is not None:
+                            yield mk_avail(avail_base_me + got)
+                    else:
+                        got += n
+                        if mk_avail is not None:
+                            steps = steps + (mk_avail(avail_base_me + got),)
+                        if len(steps) == 1:
+                            yield steps[0]
+                        else:
+                            yield P.CopyBatch(steps)
 
     def _finalize(self, comm, hier: Hierarchy, me: int, led: dict,
                   wait_children: bool = True) -> Iterator:
@@ -465,6 +504,10 @@ class Xhc(CollComponent):
         peers = group.members
         ready_bases = {p: led["ready"][p][level] for p in peers}
         done_base = led["done"][me]
+        done_flag = self.done[me]
+        ufunc = op.ufunc
+        np_dtype = dtype.np_dtype
+        src_bases = None
         pos = lo
         with comm.node.obs.span("xhc.reduce.work", rank=me, level=level,
                                 lo=lo, hi=hi):
@@ -473,23 +516,35 @@ class Xhc(CollComponent):
                 for p in peers:
                     yield P.WaitFlag(self.ready[p][level],
                                      ready_bases[p] + pos + n)
-                # Buffer lookups happen only after the readiness waits: the
-                # leader's publication precedes its first ready announcement.
-                srcs = [
-                    self._contrib(comm, p, level, nbytes, small, parity)
-                    .sub(pos, n)
-                    for p in peers
-                ]
-                dst = self._result(comm, group.leader, nbytes, small,
-                                   parity).sub(pos, n)
-                if small:
-                    yield P.Reduce(srcs=tuple(srcs), dst=dst, op=op.ufunc,
-                                   dtype=dtype.np_dtype)
-                else:
-                    yield from ctx.smsc.reduce_from(srcs, dst, op=op.ufunc,
-                                                    dtype=dtype.np_dtype)
+                if src_bases is None:
+                    # Buffer lookups happen only after the first readiness
+                    # waits (the leader's publication precedes its first
+                    # ready announcement); the published views themselves
+                    # are per-op constants, so resolve them once.
+                    src_bases = [
+                        self._contrib(comm, p, level, nbytes, small, parity)
+                        for p in peers
+                    ]
+                    dst_base = self._result(comm, group.leader, nbytes,
+                                            small, parity)
+                srcs = [base.sub(pos, n) for base in src_bases]
+                dst = dst_base.sub(pos, n)
                 pos += n
-                yield P.SetFlag(self.done[me], done_base + (pos - lo))
+                done_prim = P.SetFlag(done_flag, done_base + (pos - lo))
+                if small:
+                    yield P.CopyBatch((
+                        P.Reduce(srcs=tuple(srcs), dst=dst, op=ufunc,
+                                 dtype=np_dtype),
+                        done_prim))
+                else:
+                    steps = ctx.smsc.reduce_from_steps(srcs, dst, op=ufunc,
+                                                       dtype=np_dtype)
+                    if steps is None:
+                        yield from ctx.smsc.reduce_from(srcs, dst, op=ufunc,
+                                                        dtype=np_dtype)
+                        yield done_prim
+                    else:
+                        yield P.CopyBatch(steps + (done_prim,))
 
     def _monitor(self, comm, ctx, me: int, hier: Hierarchy, group: Group,
                  nbytes: int, small: bool, fan_out: bool, dtype,

@@ -1,4 +1,4 @@
-"""Lint rules RC101-RC105 (repro.check.lint)."""
+"""Lint rules RC101-RC106 (repro.check.lint)."""
 
 import pytest
 
@@ -145,3 +145,87 @@ def test_explicit_paths(tmp_path):
                       fingerprint=False)
     assert not report.ok
     assert _rules(report) == ["RC101"]
+
+
+# -- RC106: per-event allocations in hot-path functions ----------------------
+
+def test_rc106_allocations_in_hot_path(tmp_path):
+    src = (
+        "def step(self, x):  # hot-path\n"
+        "    a = [x]\n"
+        "    b = {1: x}\n"
+        "    c = {x}\n"
+        "    d = [i for i in range(x)]\n"
+        "    e = f\"{x}\"\n"
+        "    g = \"{}\".format(x)\n"
+        "    h = \"%s\" % x\n"
+        "    return a, b, c, d, e, g, h\n"
+    )
+    findings = _lint_src(tmp_path, "src/repro/sim/x.py", src)
+    assert _rules(findings) == ["RC106"] * 7
+
+
+def test_rc106_marker_on_preceding_line(tmp_path):
+    src = ("# hot-path\n"
+           "def step(x):\n"
+           "    return [x]\n")
+    findings = _lint_src(tmp_path, "src/repro/sim/x.py", src)
+    assert _rules(findings) == ["RC106"]
+
+
+def test_rc106_marker_on_multiline_signature(tmp_path):
+    src = ("def step(a,\n"
+           "         b):  # hot-path\n"
+           "    return [a, b]\n")
+    findings = _lint_src(tmp_path, "src/repro/sim/x.py", src)
+    assert _rules(findings) == ["RC106"]
+
+
+def test_rc106_unmarked_function_is_free(tmp_path):
+    src = ("def cold(x):\n"
+           "    return [x], {1: x}, f\"{x}\"\n")
+    findings = _lint_src(tmp_path, "src/repro/sim/x.py", src)
+    assert findings == []
+
+
+def test_rc106_suppression(tmp_path):
+    src = ("def step(x):  # hot-path\n"
+           "    cold = [x]  # lint: disable=RC106\n"
+           "    return cold\n")
+    findings = _lint_src(tmp_path, "src/repro/sim/x.py", src)
+    assert findings == []
+
+
+def test_rc106_annotations_not_flagged(tmp_path):
+    # The [] inside Callable[[], None] is an ast.List; annotations never
+    # execute per event and must not trip the rule.
+    src = ("from typing import Callable, Optional\n"
+           "def step(x, then: Optional[Callable[[], None]]) -> None:"
+           "  # hot-path\n"
+           "    return then\n")
+    findings = _lint_src(tmp_path, "src/repro/sim/x.py", src)
+    assert findings == []
+
+
+def test_rc106_nested_closure_inherits_hot_scope(tmp_path):
+    src = ("def plan(x):  # hot-path\n"
+           "    def complete():\n"
+           "        return [x]\n"
+           "    return complete\n")
+    findings = _lint_src(tmp_path, "src/repro/sim/x.py", src)
+    assert _rules(findings) == ["RC106"]
+
+
+def test_rc106_store_context_list_not_flagged(tmp_path):
+    src = ("def step(pair):  # hot-path\n"
+           "    [a, b] = pair\n"
+           "    return a + b\n")
+    findings = _lint_src(tmp_path, "src/repro/sim/x.py", src)
+    assert findings == []
+
+
+def test_rc106_hot_paths_in_tree_are_clean():
+    """The real marked hot paths lint clean (cold branches suppressed)."""
+    report = run_lint(fingerprint=False)
+    rc106 = [f for f in report if f.rule == "RC106"]
+    assert rc106 == [], [str(f) for f in rc106]
