@@ -15,8 +15,16 @@ Sweeps go through the shared executor::
     from repro import Executor, RunRequest, run_many
 
     reqs = [RunRequest("epyc-1p", "bcast", size, 32) for size in sizes]
-    with Executor(workers=4, cache="results/cache/sim_cache.json") as ex:
+    with Executor(workers=4, cache="results/cache") as ex:
         results = ex.run_many(reqs)
+
+or are served by the long-lived sweep daemon (``python -m repro serve
+start``; see docs/serving.md)::
+
+    from repro.serve import ServeClient
+
+    with ServeClient() as client:
+        done = client.submit([r.payload() for r in reqs], tenant="alice")
 
 ``__all__`` below is the supported public surface; everything else may
 move between minor versions (docs/api.md documents the deprecation
@@ -35,6 +43,7 @@ from . import bench
 from . import check
 from . import exec  # noqa: A004 - module re-export  # pylint: disable=W0622
 from . import obs
+from . import serve
 from . import tune
 
 __version__ = "1.1.0"
@@ -62,6 +71,7 @@ __all__ = [
     "check",
     "exec",
     "obs",
+    "serve",
     "tune",
     "__version__",
 ]

@@ -12,13 +12,17 @@ Commands
              (see docs/observability.md)
 ``check``    correctness tooling: AST lint over the tree and/or the
              race/deadlock sanitizer over an OSU sweep (docs/checking.md)
+``serve``    the sweep service: ``start`` a daemon, ``submit`` sweeps to
+             it, query ``status``/``tables``, ``stop`` it, render the
+             provenance ``manifest`` (see docs/serving.md)
 
 Exit codes (stable — CI and scripts rely on them)
 -------------------------------------------------
 
 ``0``  success; for ``check``, a clean report
 ``1``  the command ran but reported findings or a failure
-``2``  usage error (unknown figure/flag; argparse errors land here too)
+``2``  usage error (unknown figure/flag; argparse errors land here too);
+       for ``serve`` clients, the daemon being unreachable
 
 Sweeping commands (``bench``, ``figure``, ``check``) accept ``--parallel
 N`` to fan simulations out over N worker processes and (``bench``,
@@ -29,6 +33,7 @@ persistent result store (see docs/api.md).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from . import bench as bench_mod
@@ -385,6 +390,225 @@ def _describe_config(cfg) -> str:
     return " ".join(parts)
 
 
+# -- serve: the sweep service (docs/serving.md) ------------------------------
+#
+# Client subcommands (submit/status/tables/stop) talk to a running daemon
+# over its local socket and follow the exit-code contract above: the
+# daemon being unreachable is exit 2 (an environment problem, like a bad
+# flag), an answered-but-failed request is exit 1. ``start`` runs the
+# daemon in the foreground; ``manifest`` is offline and needs no daemon.
+
+
+def _serve_flags() -> argparse.ArgumentParser:
+    from .serve import default_socket_path
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument("--socket", default=None, metavar="PATH",
+                   help="daemon socket path "
+                        f"(default: {default_socket_path()})")
+    p.add_argument("--timeout", type=float, default=10.0, metavar="SECS",
+                   help="seconds to wait for the daemon to answer "
+                        "(default: 10; unreachable exits 2)")
+    return p
+
+
+def _serve_client(args):
+    from .serve import ServeClient
+    return ServeClient(args.socket, timeout=args.timeout)
+
+
+def cmd_serve_start(args) -> int:
+    import asyncio
+
+    from .serve import ServeDaemon
+
+    workers = None if args.parallel < 0 else args.parallel
+    daemon = ServeDaemon(
+        args.socket, workers=workers, cache=args.cache,
+        tables_root=args.tables, state_dir=args.state_dir,
+        batch_size=args.batch_size, max_entries=args.max_entries,
+        max_bytes=args.max_bytes,
+        log=lambda msg: print(f"[serve] {msg}", flush=True))
+    try:
+        asyncio.run(daemon.run())
+    except KeyboardInterrupt:
+        # The in-loop signal handler normally drains first; a second ^C
+        # (or an interpreter without signal-handler support) lands here.
+        print("[serve] interrupted", flush=True)
+        return 1
+    return 0
+
+
+def _submit_requests(args) -> "list[dict]":
+    from .exec import RunRequest
+
+    names = (args.components.split(",") if args.components
+             else component_names(args.collective, args.system))
+    sizes = (tuple(int(s) for s in args.sizes.split(","))
+             if args.sizes else DEFAULT_SIZES)
+    nranks = args.nranks or get_system(args.system).n_cores
+    return [
+        RunRequest(args.system, args.collective, size, nranks,
+                   component=name, warmup=args.warmup,
+                   iters=args.iters).payload()
+        for name in names for size in sizes
+    ]
+
+
+def cmd_serve_submit(args) -> int:
+    requests = _submit_requests(args)
+
+    def on_event(event: dict) -> None:
+        kind = event.get("event")
+        if kind == "accepted":
+            print(f"[accepted job {event.get('job')} "
+                  f"({event.get('total')} requests, "
+                  f"tenant {event.get('tenant')!r})]", flush=True)
+        elif kind == "progress":
+            print(f"[progress {event.get('done')}/{event.get('total')}]",
+                  flush=True)
+
+    with _serve_client(args) as client:
+        done = client.submit(requests, tenant=args.tenant,
+                             on_event=on_event)
+    stats = done.get("stats", {})
+    results = done.get("results", [])
+    rows = [
+        [res["request"]["component"], res["request"]["size"],
+         (res["latency_s"] * 1e6 if res.get("latency_s") is not None
+          else "-"),
+         res["provenance"]["cache"],
+         res["provenance"]["request_hash"][:12]]
+        for res in results
+    ]
+    print(render_rows(
+        f"served {args.collective} on {args.system} "
+        f"(tenant {args.tenant!r}, us)",
+        ["component", "size", "latency_us", "cache", "request_hash"],
+        rows))
+    total = stats.get("requests", 0)
+    hits = stats.get("cached", 0)
+    rate = 100 * hits / total if total else 0.0
+    print(f"[simulations: {stats.get('new', 0)} new, {hits} cached "
+          f"(hit rate {rate:.0f}%), errors {stats.get('errors', 0)}]")
+    if args.json:
+        write_json(args.json, done)
+        print(f"[wrote served results to {args.json}]")
+    return 1 if stats.get("errors") else 0
+
+
+def cmd_serve_status(args) -> int:
+    with _serve_client(args) as client:
+        status = client.status()
+    queue = status.get("queue", {})
+    store = status.get("store") or {}
+    exec_stats = status.get("executor", {})
+    print(f"serve daemon @ {client.socket_path}")
+    print(f"  protocol {status.get('protocol')}, "
+          f"SIM_VERSION {status.get('sim_version')}, "
+          f"uptime {status.get('uptime_s', 0):.0f}s, "
+          f"accepting={status.get('accepting')}")
+    print(f"  queue: {queue.get('pending_requests', 0)} request(s) in "
+          f"{queue.get('pending_chunks', 0)} chunk(s); tenants: "
+          f"{', '.join(sorted(queue.get('tenants', {}))) or '(idle)'}")
+    print(f"  executor: {exec_stats.get('simulations', 0)} simulations, "
+          f"{exec_stats.get('cache_hits', 0)} cache hits")
+    if store:
+        bound = []
+        if store.get("max_entries"):
+            bound.append(f"max {store['max_entries']} entries")
+        if store.get("max_bytes"):
+            bound.append(f"max {store['max_bytes']} bytes")
+        print(f"  store: {store.get('entries', 0)} entries, "
+              f"{store.get('bytes', 0)} bytes at {store.get('root')}"
+              f"{' (' + ', '.join(bound) + ')' if bound else ''}")
+    tables = status.get("tables", {})
+    print(f"  tables: {tables.get('lookups', 0)} lookups, "
+          f"{tables.get('reloads', 0)} reloads")
+    if args.json:
+        write_json(args.json, status)
+        print(f"[wrote status to {args.json}]")
+    return 0
+
+
+def cmd_serve_tables(args) -> int:
+    with _serve_client(args) as client:
+        if args.system is None:
+            reply = client.tables()
+            tables = reply.get("tables", [])
+            if not tables:
+                print("no decision tables served")
+                return 1
+            rows = [[t["table"], t["etag"], t["entries"],
+                     ",".join(t["systems"])] for t in tables]
+            print(render_rows("served decision tables",
+                              ["table", "etag", "entries", "systems"],
+                              rows))
+            return 0
+        reply = client.tables(args.system, args.collective, args.size,
+                              table=args.table)
+    if not reply.get("found"):
+        print(f"no decision for {args.system}/{args.collective} "
+              f"@ {args.size} B", file=sys.stderr)
+        return 1
+    decision = reply["decision"]
+    print(f"decision for {args.system}/{args.collective} @ {args.size} B "
+          f"(bucket {decision['bucket']}"
+          f"{'' if decision['exact_bucket'] else ', nearest'}):")
+    for key, value in sorted(decision["config"].items()):
+        print(f"  {key}: {value}")
+    if decision.get("latency_us") is not None:
+        print(f"  tuned: {decision['latency_us']:.2f} us "
+              f"(baseline {decision.get('baseline_us', 0) or 0:.2f} us)")
+    print(f"  table: {decision['table']} (etag {decision['etag']})")
+    if args.json:
+        write_json(args.json, reply)
+        print(f"[wrote decision to {args.json}]")
+    return 0
+
+
+def cmd_serve_stop(args) -> int:
+    with _serve_client(args) as client:
+        bye = client.shutdown()
+    print(f"[daemon drained {bye.get('drained_jobs', 0)} job(s) and "
+          f"stopped after {bye.get('uptime_s', 0):.0f}s]")
+    return 0
+
+
+def cmd_serve_manifest(args) -> int:
+    from .serve import build_manifest, write_manifest
+
+    if args.out:
+        text = write_manifest(args.out, args.root,
+                              state_dir=args.state_dir,
+                              tables_root=args.tables)
+        print(f"[wrote manifest ({len(text.splitlines())} lines) "
+              f"to {args.out}]")
+    else:
+        print(build_manifest(args.root, state_dir=args.state_dir,
+                             tables_root=args.tables))
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from .serve import ServeError
+
+    try:
+        return args.serve_fn(args)
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return exc.exit_code
+    except BrokenPipeError:
+        # The client wraps every daemon-socket failure in ServeError, so a
+        # raw BrokenPipeError here means stdout went away (`... | head`).
+        # Exit quietly, the way line-oriented Unix tools do.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 1
+    except ConnectionResetError:
+        print("error: connection to the daemon was lost", file=sys.stderr)
+        return 1
+
+
 def cmd_app(args) -> int:
     from .apps import run_cntk, run_miniamr, run_pisvm
     runners = {
@@ -598,6 +822,90 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--note", help="free-form note recorded in the emitted "
                                   "record (methodology, host)")
     p.set_defaults(fn=cmd_perf)
+
+    p = sub.add_parser(
+        "serve", help="sweep service: daemon, clients, provenance "
+                      "manifest (docs/serving.md)")
+    serve_sub = p.add_subparsers(dest="serve_command", required=True)
+    p.set_defaults(fn=cmd_serve)
+
+    from .exec import DEFAULT_CACHE_PATH
+    sp = serve_sub.add_parser(
+        "start", help="run the daemon in the foreground",
+        parents=[_serve_flags()])
+    sp.add_argument("--parallel", type=int, default=0, metavar="N",
+                    help="simulation worker processes (0 = inline, the "
+                         "default; negative = pick from CPU count)")
+    sp.add_argument("--cache", default=DEFAULT_CACHE_PATH, metavar="PATH",
+                    help="sharded result store root "
+                         f"(default: {DEFAULT_CACHE_PATH})")
+    sp.add_argument("--tables", default=None, metavar="DIR",
+                    help="tuned decision-table directory "
+                         "(default: results/tuned)")
+    sp.add_argument("--state-dir", default=None, metavar="DIR",
+                    help="request-ledger directory "
+                         "(default: results/serve)")
+    sp.add_argument("--batch-size", type=int, default=8, metavar="N",
+                    help="requests per fairness chunk (default: 8)")
+    sp.add_argument("--max-entries", type=int, default=None, metavar="N",
+                    help="evict the store down to N entries on flush")
+    sp.add_argument("--max-bytes", type=int, default=None, metavar="N",
+                    help="evict the store down to N payload bytes on flush")
+    sp.set_defaults(fn=cmd_serve, serve_fn=cmd_serve_start)
+
+    sp = serve_sub.add_parser(
+        "submit", help="submit a sweep and stream its progress",
+        parents=[_serve_flags(), _system_flags(),
+                 _json_flags("also write results + provenance here")])
+    sp.add_argument("collective", choices=["bcast", "allreduce"])
+    sp.add_argument("--nranks", type=int)
+    sp.add_argument("--components",
+                    help="comma-separated (default: paper set)")
+    sp.add_argument("--sizes", help="comma-separated bytes")
+    sp.add_argument("--warmup", type=int, default=1)
+    sp.add_argument("--iters", type=int, default=3)
+    sp.add_argument("--tenant", default="default",
+                    help="fairness identity; concurrent tenants share the "
+                         "daemon round-robin (default: 'default')")
+    sp.set_defaults(fn=cmd_serve, serve_fn=cmd_serve_submit)
+
+    sp = serve_sub.add_parser(
+        "status", help="daemon health: queue, store, metrics",
+        parents=[_serve_flags(),
+                 _json_flags("write the raw status event here")])
+    sp.set_defaults(fn=cmd_serve, serve_fn=cmd_serve_status)
+
+    sp = serve_sub.add_parser(
+        "tables", help="look up a tuned decision (or list served tables)",
+        parents=[_serve_flags(),
+                 _json_flags("write the raw decision event here")])
+    sp.add_argument("--system", default=None,
+                    help="target system (omit to list served tables)")
+    sp.add_argument("--collective", default="bcast",
+                    choices=["bcast", "allreduce"])
+    sp.add_argument("--size", type=int, default=65536, metavar="BYTES")
+    sp.add_argument("--table", default=None,
+                    help="table filename under the served root "
+                         "(default: decision_table.json)")
+    sp.set_defaults(fn=cmd_serve, serve_fn=cmd_serve_tables)
+
+    sp = serve_sub.add_parser(
+        "stop", help="drain in-flight jobs and stop the daemon",
+        parents=[_serve_flags()])
+    sp.set_defaults(fn=cmd_serve, serve_fn=cmd_serve_stop)
+
+    sp = serve_sub.add_parser(
+        "manifest", help="render the provenance ledger (offline)",
+        parents=[_out_flags("write the manifest here instead of stdout")])
+    sp.add_argument("--root", default=".",
+                    help="repo checkout to index (default: .)")
+    sp.add_argument("--state-dir", default=None, metavar="DIR",
+                    help="request-ledger directory "
+                         "(default: <root>/results/serve)")
+    sp.add_argument("--tables", default=None, metavar="DIR",
+                    help="decision-table directory "
+                         "(default: <root>/results/tuned)")
+    sp.set_defaults(fn=cmd_serve, serve_fn=cmd_serve_manifest)
 
     p = sub.add_parser("app", help="run an application skeleton",
                        parents=[_system_flags()])

@@ -13,6 +13,16 @@ The digest is taken over the canonical JSON form (sorted keys, no
 whitespace), so it is stable across dict insertion orders and across
 process boundaries — a worker process and the coordinating process always
 agree on the key of a request.
+
+Persistence is a sharded, one-file-per-entry store
+(:class:`~repro.exec.store.ShardedStore`) under the cache *root*
+directory — the single flat JSON file of earlier versions could not
+survive millions of entries. Passing a legacy ``*.json`` file path still
+works: the root is the file's directory and any flat entries found there
+are migrated into the shards once (idempotently, stamped in the ledger).
+Corrupt or truncated entries are quarantined with a warning and treated
+as misses; writes are atomic (``*.tmp`` + ``os.replace``); the store can
+be size-bounded with LRU eviction (see docs/serving.md).
 """
 
 from __future__ import annotations
@@ -20,7 +30,8 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
+
+from .store import ShardedStore
 
 # Bump when simulator pricing changes invalidate cached latencies.
 # Lint rule RC105 (repro.check.lint) enforces this: it fingerprints the
@@ -29,8 +40,13 @@ import tempfile
 # 2: scatter gathers all ranks' acks at the root (release-protocol fix).
 SIM_VERSION = 2
 
-#: Where the shared store lives unless a caller says otherwise.
-DEFAULT_CACHE_PATH = os.path.join("results", "cache", "sim_cache.json")
+#: Where the shared store lives unless a caller says otherwise. This is
+#: the store *root* directory; entries live in sharded per-entry files
+#: underneath it (``objects/v<SIM_VERSION>/<2-hex>/<digest>.json``).
+DEFAULT_CACHE_PATH = os.path.join("results", "cache")
+
+#: Name of the legacy flat cache file (pre-sharding) inside a root.
+LEGACY_FLAT_NAME = "sim_cache.json"
 
 
 def default_cache_path() -> str:
@@ -45,22 +61,50 @@ def cache_key(payload: dict) -> str:
     return hashlib.sha256(canon.encode()).hexdigest()
 
 
-class ResultCache:
-    """A persistent {digest: latency} store with hit/miss accounting."""
+def store_layout(path: str) -> tuple[str, str]:
+    """Resolve a cache path to ``(store root, legacy flat file)``.
 
-    def __init__(self, path: str | os.PathLike | None = None) -> None:
+    Directory paths are store roots; a ``*.json`` path is the legacy
+    flat-file spelling and maps to its containing directory, so
+    ``results/cache/sim_cache.json`` and ``results/cache`` name the same
+    store.
+    """
+    if path.endswith(".json"):
+        return os.path.dirname(path) or ".", path
+    return path, os.path.join(path, LEGACY_FLAT_NAME)
+
+
+class ResultCache:
+    """A persistent {digest: latency} store with hit/miss accounting.
+
+    The API is unchanged from the flat-file era — ``get``/``put`` by
+    payload, ``save()``, ``len()`` — so exec/tune callers are untouched;
+    only the on-disk layout moved to sharded per-entry files. ``len()``
+    and lookups cover the *current* ``SIM_VERSION`` generation only;
+    stale generations are invisible (and reclaimed by eviction).
+    """
+
+    def __init__(self, path: str | os.PathLike | None = None, *,
+                 max_entries: int | None = None,
+                 max_bytes: int | None = None) -> None:
         self.path = os.fspath(path) if path is not None else None
         self.entries: dict[str, dict] = {}
+        self._dirty: set[str] = set()
         self.hits = 0
         self.misses = 0
-        if self.path and os.path.exists(self.path):
-            with open(self.path) as fh:
-                stored = json.load(fh)
-            if stored.get("sim_version") == SIM_VERSION:
-                self.entries = stored.get("entries", {})
+        self.store: ShardedStore | None = None
+        if self.path:
+            root, legacy_flat = store_layout(self.path)
+            self.store = ShardedStore(root, max_entries=max_entries,
+                                      max_bytes=max_bytes)
+            if os.path.isfile(legacy_flat):
+                self.store.migrate_flat(legacy_flat)
 
     def __len__(self) -> int:
-        return len(self.entries)
+        if self.store is None:
+            return len(self.entries)
+        return len(self.store.digests(SIM_VERSION)
+                   | self._dirty | set(self.entries))
 
     @property
     def hit_rate(self) -> float:
@@ -68,7 +112,15 @@ class ResultCache:
         return self.hits / total if total else 0.0
 
     def get(self, payload: dict) -> float | None:
-        entry = self.entries.get(cache_key(payload))
+        digest = cache_key(payload)
+        entry = self.entries.get(digest)
+        if entry is None and self.store is not None:
+            entry = self.store.read(SIM_VERSION, digest)
+            if entry is not None:
+                if entry.get("sim_version", SIM_VERSION) != SIM_VERSION:
+                    entry = None  # stale generation; never serve it
+                else:
+                    self.entries[digest] = entry
         if entry is None:
             self.misses += 1
             return None
@@ -76,26 +128,38 @@ class ResultCache:
         return entry["latency_s"]
 
     def put(self, payload: dict, latency_s: float) -> None:
-        self.entries[cache_key(payload)] = {
+        digest = cache_key(payload)
+        self.entries[digest] = {
             "latency_s": latency_s,
             # The request itself is stored alongside for auditability;
             # the digest alone would be write-only.
             "request": payload,
+            "sim_version": SIM_VERSION,
         }
+        self._dirty.add(digest)
 
     def save(self) -> None:
-        if not self.path:
+        """Flush dirty entries to the sharded store, run eviction, and
+        refresh the ledger. A no-op without a backing path."""
+        if self.store is None:
             return
-        directory = os.path.dirname(self.path) or "."
-        os.makedirs(directory, exist_ok=True)
-        payload = {"sim_version": SIM_VERSION, "entries": self.entries}
-        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(payload, fh, indent=1, sort_keys=True)
-            os.chmod(tmp, 0o644)  # mkstemp creates 0600
-            os.replace(tmp, self.path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+        for digest in sorted(self._dirty):
+            self.store.write(SIM_VERSION, digest, self.entries[digest])
+        self._dirty.clear()
+        self.store.evict()
+        self.store.save_ledger()
+
+    def store_info(self) -> dict | None:
+        """Totals + policy of the backing store (``None`` if in-memory)."""
+        if self.store is None:
+            return None
+        count, size = self.store.totals()
+        return {
+            "root": self.store.root,
+            "entries": count,
+            "bytes": size,
+            "current_version_entries": self.store.count(SIM_VERSION),
+            "max_entries": self.store.max_entries,
+            "max_bytes": self.store.max_bytes,
+            "sim_version": SIM_VERSION,
+        }

@@ -104,6 +104,30 @@ class RunRequest:
         """Content-address of this request (includes ``SIM_VERSION``)."""
         return cache_key(self.payload())
 
+    @classmethod
+    def from_payload(cls, data: dict) -> "RunRequest":
+        """Rebuild a request from its JSON form — the inverse of
+        :meth:`payload`, and what the serve daemon applies to request
+        dicts arriving over the wire. Unknown fields raise ``ValueError``
+        (a client protocol error, not a crash)."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown request field(s): {', '.join(sorted(unknown))}")
+        kwargs = dict(data)
+        smsc = kwargs.get("smsc")
+        if isinstance(smsc, dict):
+            from ..shmem.smsc import SmscConfig as _Smsc
+            kwargs["smsc"] = _Smsc(**smsc)
+        options = kwargs.get("options")
+        if isinstance(options, dict):
+            kwargs["options"] = RunOptions(**options)
+        mapping = kwargs.get("mapping")
+        if isinstance(mapping, list):
+            kwargs["mapping"] = tuple(mapping)
+        return cls(**kwargs)
+
     def batch_key(self) -> tuple:
         """Requests sharing this key run on identical (system, component,
         smsc, options) state — a pool worker amortizes one memoized

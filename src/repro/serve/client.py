@@ -1,0 +1,177 @@
+"""Blocking client for the sweep service (what the CLI subcommands use).
+
+Wraps a local stream socket in the JSON-lines protocol: send one request
+object, iterate response events until the terminal one. Connection
+failures — no socket, nobody listening, a dead daemon, a handshake that
+never answers — raise :class:`ServeUnreachable`, which carries exit code
+2 per the CLI contract (docs/api.md): *the daemon being down is a usage/
+environment problem, not a failed run*.
+
+Control ops (``ping``/``status``/``tables``/``shutdown``) apply
+``timeout`` to every read. ``submit`` applies it to the connection and
+the ``accepted`` handshake only, then blocks indefinitely between
+streamed events — a chunk of 4 MB simulations legitimately takes longer
+than any sensible socket timeout.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+from typing import Callable, Iterator
+
+from .protocol import ProtocolError, decode, default_socket_path, encode
+
+
+class ServeError(RuntimeError):
+    """The daemon answered, but with an error event (CLI exit 1)."""
+
+    exit_code = 1
+
+
+class ServeUnreachable(ServeError):
+    """No daemon behind the socket (CLI exit 2)."""
+
+    exit_code = 2
+
+
+class ServeClient:
+    """One connection to a running :class:`~repro.serve.ServeDaemon`."""
+
+    def __init__(self, socket_path: str | os.PathLike | None = None, *,
+                 timeout: float = 10.0) -> None:
+        self.socket_path = os.fspath(socket_path) if socket_path \
+            else default_socket_path()
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._file = None
+
+    # -- connection -------------------------------------------------------
+
+    def connect(self) -> "ServeClient":
+        if self._sock is not None:
+            return self
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        try:
+            sock.connect(self.socket_path)
+        except (FileNotFoundError, ConnectionRefusedError,
+                socket.timeout, OSError) as exc:
+            sock.close()
+            raise ServeUnreachable(
+                f"no serve daemon reachable at {self.socket_path!r} "
+                f"({exc.__class__.__name__}: {exc}); start one with "
+                f"`python -m repro serve start`") from None
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+        return self
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        return self.connect()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the request/stream primitive -------------------------------------
+
+    def stream(self, message: dict) -> Iterator[dict]:
+        """Send one request; yield events up to and including the
+        terminal one (``done``/``error``/``bye``)."""
+        self.connect()
+        try:
+            self._file.write(encode(message))
+            self._file.flush()
+        except (BrokenPipeError, OSError) as exc:
+            raise ServeUnreachable(
+                f"serve daemon at {self.socket_path!r} dropped the "
+                f"connection: {exc}") from None
+        while True:
+            try:
+                line = self._file.readline()
+            except socket.timeout:
+                raise ServeUnreachable(
+                    f"serve daemon at {self.socket_path!r} did not answer "
+                    f"within {self.timeout}s") from None
+            except OSError as exc:
+                raise ServeUnreachable(
+                    f"serve daemon at {self.socket_path!r} dropped the "
+                    f"connection: {exc}") from None
+            if not line:
+                raise ServeUnreachable(
+                    f"serve daemon at {self.socket_path!r} closed the "
+                    f"connection mid-request")
+            try:
+                event = decode(line)
+            except ProtocolError as exc:
+                raise ServeError(f"undecodable daemon reply: {exc}") \
+                    from None
+            yield event
+            if event.get("event") in ("done", "error", "bye"):
+                return
+
+    def request(self, message: dict) -> dict:
+        """Send one request; return the terminal event, raising
+        :class:`ServeError` if it is an ``error``."""
+        last = {}
+        for event in self.stream(message):
+            last = event
+        if last.get("event") == "error":
+            raise ServeError(last.get("reason", "daemon error"))
+        return last
+
+    # -- ops --------------------------------------------------------------
+
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def status(self) -> dict:
+        return self.request({"op": "status"})
+
+    def tables(self, system: str | None = None, collective: str = "bcast",
+               size: int = 0, table: str | None = None) -> dict:
+        message: dict = {"op": "tables"}
+        if system is not None:
+            message.update(system=system, collective=collective, size=size)
+            if table is not None:
+                message["table"] = table
+        return self.request(message)
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})
+
+    def submit(self, requests: "list[dict]", *, tenant: str = "default",
+               on_event: Callable[[dict], None] | None = None) -> dict:
+        """Submit a sweep and stream it to completion.
+
+        ``requests`` are JSON request payloads (see
+        :meth:`repro.exec.RunRequest.payload`). ``on_event`` sees every
+        ``accepted``/``progress`` event as it arrives; the final ``done``
+        event (results + provenance) is returned.
+        """
+        self.connect()
+        message = {"op": "submit", "tenant": tenant, "requests": requests}
+        last = {}
+        for event in self.stream(message):
+            if event.get("event") == "accepted" and self._sock is not None:
+                # Accepted: from here on, chunks may legitimately take
+                # longer than the connect timeout — block between events.
+                self._sock.settimeout(None)
+            if on_event is not None and event.get("event") != "done":
+                on_event(event)
+            last = event
+        if self._sock is not None:
+            self._sock.settimeout(self.timeout)
+        if last.get("event") == "error":
+            raise ServeError(last.get("reason", "daemon error"))
+        return last

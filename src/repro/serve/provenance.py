@@ -1,0 +1,131 @@
+"""Provenance: every served result names exactly what produced it.
+
+A number without its lineage is a liability at serving scale — a client
+cannot tell a warm-cache answer from a fresh simulation, or results from
+two simulator generations apart. Every result the daemon streams back
+therefore carries a provenance block::
+
+    {
+      "request_hash":  <sha256 of the canonical request payload>,
+      "sim_version":   <repro.exec.SIM_VERSION at serving time>,
+      "config_digest": <sha256 of the canonical component/config spec>,
+      "cache":         "hit" | "miss" | "error",
+    }
+
+``request_hash`` is exactly :meth:`RunRequest.key` — the same digest the
+sharded store files the entry under, so a served answer can be traced to
+its on-disk entry byte-for-byte. ``config_digest`` hashes only the
+component identity (name + explicit config), letting clients group
+results by configuration across sizes and systems.
+
+The daemon also appends one line per finished job to a JSON-lines
+request ledger (``results/serve/requests.jsonl``), which is what
+``repro serve manifest`` mines to tie published artifacts back to exact
+requests (see :mod:`repro.serve.manifest`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+from ..exec.cache import SIM_VERSION
+from ..exec.request import RunRequest, RunResult
+
+REQUEST_LOG_NAME = "requests.jsonl"
+
+
+def config_digest(request: RunRequest) -> str:
+    """Digest of the component identity (registry name + explicit
+    config), stable across dict orderings and processes."""
+    spec = {"component": request.component, "config": request.config}
+    canon = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode()).hexdigest()
+
+
+def provenance_for(request: RunRequest,
+                   result: "RunResult | None") -> dict:
+    """The provenance block attached to one served result."""
+    if result is None or result.error is not None:
+        cache = "error"
+    else:
+        cache = "hit" if result.cached else "miss"
+    return {
+        "request_hash": request.key(),
+        "sim_version": SIM_VERSION,
+        "config_digest": config_digest(request),
+        "cache": cache,
+    }
+
+
+def result_to_json(request: RunRequest,
+                   result: "RunResult | None") -> dict:
+    """Wire form of one result: the answer plus its provenance."""
+    out = {
+        "request": request.payload(),
+        "latency_s": None if result is None else result.latency_s,
+        "cached": bool(result is not None and result.cached),
+        "provenance": provenance_for(request, result),
+    }
+    if result is not None and result.error is not None:
+        out["error"] = result.error
+    return out
+
+
+class RequestLog:
+    """Append-only JSON-lines ledger of served jobs.
+
+    One line per finished job: tenant, request hashes, hit/miss split,
+    SIM_VERSION. Appends are line-atomic (single ``write`` of one line,
+    opened with ``O_APPEND``), so concurrent daemons sharing a state dir
+    interleave whole records, never tear them.
+    """
+
+    def __init__(self, state_dir: str | os.PathLike | None) -> None:
+        self.path = (os.path.join(os.fspath(state_dir), REQUEST_LOG_NAME)
+                     if state_dir is not None else None)
+
+    def append(self, record: dict) -> None:
+        if self.path is None:
+            return
+        os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+        line = json.dumps(record, sort_keys=True,
+                          separators=(",", ":")) + "\n"
+        with open(self.path, "a") as fh:
+            fh.write(line)
+
+    def records(self) -> list[dict]:
+        """Every intact record (torn/corrupt lines are skipped, never
+        fatal — mirrors the cache's corruption-is-a-miss discipline)."""
+        if self.path is None or not os.path.exists(self.path):
+            return []
+        out = []
+        with open(self.path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(record, dict):
+                    out.append(record)
+        return out
+
+
+def job_record(job, *, socket_path: str | None = None) -> dict:
+    """The ledger line for one finished :class:`~repro.serve.queue.Job`."""
+    return {
+        "kind": "job",
+        "job": job.id,
+        "tenant": job.tenant,
+        "requests": job.total,
+        "new": job.new,
+        "cached": job.cached,
+        "errors": job.errors,
+        "sim_version": SIM_VERSION,
+        "request_hashes": [req.key() for req in job.requests],
+        "socket": socket_path,
+    }

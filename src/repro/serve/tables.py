@@ -1,0 +1,126 @@
+"""Served decision tables: the read-heavy half of the sweep service.
+
+The "millions of users" workload is not submitting sweeps — it is
+clients asking ``(system, collective, size) → which config should I
+run?`` and expecting an answer in microseconds. Those answers live in
+the tuner's persistent decision tables (``results/tuned/*.json``); this
+module serves them from an in-memory warm cache with etag-style
+invalidation: every lookup stats the table file, and a changed
+``(mtime_ns, size)`` pair — a re-tune, a table copied in from another
+machine — reloads it before answering. Nothing is ever served from a
+table the filesystem no longer agrees with.
+
+The etag doubles as provenance: served decisions carry it, so a client
+can pin "the table I tuned against" and detect when the daemon rolled
+forward underneath it.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..tune.table import DecisionTable, bucket_of
+
+DEFAULT_TABLES_ROOT = os.path.join("results", "tuned")
+DEFAULT_TABLE_NAME = "decision_table.json"
+
+
+def etag_of(path: str) -> str | None:
+    """``"<mtime_ns>-<size>"`` of a file, ``None`` if it is missing."""
+    try:
+        st = os.stat(path)
+    except FileNotFoundError:
+        return None
+    return f"{st.st_mtime_ns}-{st.st_size}"
+
+
+class TableServer:
+    """Warm-cached, etag-invalidated access to tuned decision tables."""
+
+    def __init__(self, root: str | os.PathLike = DEFAULT_TABLES_ROOT) -> None:
+        self.root = os.fspath(root)
+        # {abspath: (etag, DecisionTable)}
+        self._warm: dict[str, tuple[str, DecisionTable]] = {}
+        self.lookups = 0
+        self.reloads = 0
+
+    def _resolve(self, table: str | None) -> str:
+        name = table or DEFAULT_TABLE_NAME
+        if os.path.isabs(name) or os.sep in name:
+            return os.path.abspath(name)
+        return os.path.abspath(os.path.join(self.root, name))
+
+    def load(self, table: str | None = None) -> \
+            "tuple[str, str, DecisionTable] | None":
+        """``(path, etag, table)`` for a table name, reloading only when
+        the file changed; ``None`` when the file does not exist."""
+        path = self._resolve(table)
+        etag = etag_of(path)
+        if etag is None:
+            self._warm.pop(path, None)
+            return None
+        cached = self._warm.get(path)
+        if cached is not None and cached[0] == etag:
+            return path, etag, cached[1]
+        loaded = DecisionTable.load(path)
+        self._warm[path] = (etag, loaded)
+        self.reloads += 1
+        return path, etag, loaded
+
+    def lookup(self, system: str, collective: str, size: int,
+               table: str | None = None) -> dict | None:
+        """One served decision, or ``None`` when there is no table or no
+        tuned entry for the (system, collective)."""
+        self.lookups += 1
+        loaded = self.load(table)
+        if loaded is None:
+            return None
+        path, etag, decision_table = loaded
+        found = decision_table.lookup_entry(system, collective, size)
+        if found is None:
+            return None
+        bucket, entry = found
+        return {
+            "system": system.lower(),
+            "collective": collective,
+            "size": size,
+            "bucket": bucket,
+            "exact_bucket": bucket == bucket_of(size),
+            "config": entry["config"],
+            "latency_us": entry.get("latency_us"),
+            "baseline_us": entry.get("baseline_us"),
+            "nranks": entry.get("nranks"),
+            "table": path,
+            "etag": etag,
+        }
+
+    def available(self) -> list[dict]:
+        """Every loadable table under the root, with entry counts."""
+        out = []
+        if not os.path.isdir(self.root):
+            return out
+        for name in sorted(os.listdir(self.root)):
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.root, name)
+            try:
+                loaded = self.load(name)
+            except (ValueError, KeyError, TypeError, AttributeError,
+                    OSError):
+                continue  # not a decision table (e.g. a cache file)
+            if loaded is None:
+                continue
+            path, etag, decision_table = loaded
+            if len(decision_table) == 0:
+                continue
+            out.append({
+                "table": path,
+                "etag": etag,
+                "entries": len(decision_table),
+                "systems": decision_table.systems(),
+            })
+        return out
+
+    def stats(self) -> dict:
+        return {"lookups": self.lookups, "reloads": self.reloads,
+                "warm_tables": len(self._warm)}

@@ -53,20 +53,32 @@ class DecisionTable:
             "nranks": nranks,
         }
 
-    def lookup(self, system: str, collective: str,
-               size: int) -> XhcConfig | None:
-        """Best config for a message size; nearest tuned bucket wins."""
+    def lookup_entry(self, system: str, collective: str,
+                     size: int) -> "tuple[int, dict] | None":
+        """The raw tuned entry (and the bucket it came from) for a size;
+        nearest tuned bucket of the same (system, collective) wins.
+        This is what the serve layer returns to clients — the entry dict
+        carries the config plus its recorded latencies."""
         system = system.lower()
         bucket = bucket_of(size)
         entry = self.entries.get((system, collective, bucket))
-        if entry is None:
-            tuned = [b for (s, c, b) in self.entries
-                     if s == system and c == collective]
-            if not tuned:
-                return None
-            nearest = min(tuned, key=lambda b: (abs(math.log2(b)
-                                                    - math.log2(bucket)), b))
-            entry = self.entries[(system, collective, nearest)]
+        if entry is not None:
+            return bucket, entry
+        tuned = [b for (s, c, b) in self.entries
+                 if s == system and c == collective]
+        if not tuned:
+            return None
+        nearest = min(tuned, key=lambda b: (abs(math.log2(b)
+                                                - math.log2(bucket)), b))
+        return nearest, self.entries[(system, collective, nearest)]
+
+    def lookup(self, system: str, collective: str,
+               size: int) -> XhcConfig | None:
+        """Best config for a message size; nearest tuned bucket wins."""
+        found = self.lookup_entry(system, collective, size)
+        if found is None:
+            return None
+        _bucket, entry = found
         return config_from_dict(entry["config"])
 
     def systems(self) -> list[str]:

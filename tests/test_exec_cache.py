@@ -83,8 +83,8 @@ def test_tune_cache_shim_is_the_exec_cache():
 
 
 def test_default_cache_path_shape():
-    assert default_cache_path().endswith(
-        os.path.join("results", "cache", "sim_cache.json"))
+    # The default is the store *root* directory now (sharded layout).
+    assert default_cache_path().endswith(os.path.join("results", "cache"))
 
 
 def test_payload_is_json_safe():
@@ -94,3 +94,62 @@ def test_payload_is_json_safe():
                      smsc=SmscConfig(mechanism="cma"))
     round_tripped = json.loads(json.dumps(req.payload()))
     assert cache_key(round_tripped) == req.key()
+
+
+# -- corruption hardening (sharded store, via the cache API) -----------------
+
+
+def test_corrupt_entry_is_a_miss_with_warning_not_a_crash(tmp_path):
+    import pytest
+
+    payload = RunRequest("epyc-1p", "bcast", 1024, 32).payload()
+    cache = ResultCache(tmp_path)
+    cache.put(payload, 2e-6)
+    cache.save()
+    # Truncate the on-disk entry mid-token (a killed writer pre-dating
+    # atomic replace, a bad disk, a bad rsync).
+    entry_path = cache.store.entry_path(SIM_VERSION, cache_key(payload))
+    with open(entry_path, "w") as fh:
+        fh.write('{"latency_s": 2e')
+
+    fresh = ResultCache(tmp_path)
+    with pytest.warns(RuntimeWarning, match="quarantined"):
+        assert fresh.get(payload) is None          # a miss, not a crash
+    assert fresh.misses == 1
+    # The bad file moved to quarantine and is never parsed again.
+    assert os.listdir(fresh.store.quarantine_root)
+    assert not os.path.exists(entry_path)
+    # The slot is reusable: a re-run repopulates and serves normally.
+    fresh.put(payload, 2e-6)
+    fresh.save()
+    assert ResultCache(tmp_path).get(payload) == 2e-6
+
+
+def test_save_is_atomic_under_interruption(tmp_path, monkeypatch):
+    # Kill the process (simulated) between the tmp write and the replace:
+    # the store must contain either the old state or the new, never a
+    # half-written entry.
+    payload = RunRequest("epyc-1p", "bcast", 1024, 32).payload()
+    cache = ResultCache(tmp_path)
+    cache.put(payload, 2e-6)
+
+    real_replace = os.replace
+    calls = {"n": 0}
+
+    def dying_replace(src, dst):
+        calls["n"] += 1
+        raise KeyboardInterrupt("simulated kill mid-save")
+
+    monkeypatch.setattr(os, "replace", dying_replace)
+    try:
+        cache.save()
+    except KeyboardInterrupt:
+        pass
+    monkeypatch.setattr(os, "replace", real_replace)
+    assert calls["n"] == 1
+    # Nothing landed, nothing is torn: a fresh cache simply misses.
+    fresh = ResultCache(tmp_path)
+    assert fresh.get(payload) is None
+    leftovers = [name for _d, _s, names in os.walk(tmp_path)
+                 for name in names if name.endswith(".tmp")]
+    assert leftovers == []

@@ -1,0 +1,327 @@
+"""The sweep daemon end-to-end: protocol, caching, fairness, drain.
+
+Each fixture runs a real :class:`ServeDaemon` event loop on a background
+thread, talking over an AF_UNIX socket in a *short* tmp dir (the 108-char
+sun_path limit rules out pytest's deep tmp_path).
+"""
+
+import asyncio
+import os
+import shutil
+import tempfile
+import threading
+
+import pytest
+
+from repro.exec import Executor, RunRequest, SIM_VERSION
+from repro.serve import (PROTOCOL_VERSION, ServeClient, ServeDaemon,
+                         ServeError, ServeUnreachable)
+from repro.tune.table import DecisionTable
+from repro.xhc import XhcConfig
+
+
+class DaemonFixture:
+    def __init__(self, **kwargs):
+        self.dir = tempfile.mkdtemp(prefix="rsv")
+        self.socket_path = os.path.join(self.dir, "d.sock")
+        kwargs.setdefault("cache", os.path.join(self.dir, "cache"))
+        kwargs.setdefault("state_dir", self.dir)
+        kwargs.setdefault("tables_root", os.path.join(self.dir, "tuned"))
+        self.daemon = ServeDaemon(self.socket_path, **kwargs)
+        self.thread = threading.Thread(
+            target=lambda: asyncio.run(self.daemon.run()), daemon=True)
+
+    def start(self):
+        self.thread.start()
+        for _ in range(200):
+            if os.path.exists(self.socket_path):
+                return self
+            threading.Event().wait(0.02)
+        raise RuntimeError("daemon socket never appeared")
+
+    def stop(self):
+        if self.thread.is_alive():
+            try:
+                with ServeClient(self.socket_path, timeout=10) as client:
+                    client.shutdown()
+            except ServeError:
+                pass
+            self.thread.join(timeout=10)
+        shutil.rmtree(self.dir, ignore_errors=True)
+
+
+@pytest.fixture
+def served():
+    fixture = DaemonFixture(workers=0, batch_size=2)
+    fixture.start()
+    yield fixture
+    fixture.stop()
+
+
+def _payloads(sizes=(64, 4096), component="xhc-tree"):
+    return [RunRequest("epyc-1p", "bcast", size, 8, component=component,
+                       warmup=1, iters=2).payload() for size in sizes]
+
+
+# -- protocol basics ---------------------------------------------------------
+
+
+def test_ping_reports_versions(served):
+    with ServeClient(served.socket_path) as client:
+        pong = client.ping()
+    assert pong["ok"] is True
+    assert pong["protocol"] == PROTOCOL_VERSION
+    assert pong["sim_version"] == SIM_VERSION
+
+
+def test_unknown_op_is_an_error_not_a_hangup(served):
+    with ServeClient(served.socket_path) as client:
+        with pytest.raises(ServeError, match="op"):
+            client.request({"op": "frobnicate"})
+        # The connection survives the error: the next op still answers.
+        assert client.ping()["ok"] is True
+
+
+def test_submit_requires_requests(served):
+    with ServeClient(served.socket_path) as client:
+        with pytest.raises(ServeError):
+            client.request({"op": "submit", "tenant": "a", "requests": []})
+
+
+def test_malformed_request_payload_is_rejected(served):
+    with ServeClient(served.socket_path) as client:
+        with pytest.raises(ServeError, match="unknown request field"):
+            client.submit([{"system": "epyc-1p", "bogus_field": 1}])
+
+
+def test_unreachable_daemon_raises_exit_code_2(tmp_path):
+    client = ServeClient(str(tmp_path / "nowhere.sock"), timeout=0.5)
+    with pytest.raises(ServeUnreachable) as excinfo:
+        client.ping()
+    assert excinfo.value.exit_code == 2
+    assert "serve start" in str(excinfo.value)
+
+
+# -- serving results ---------------------------------------------------------
+
+
+def test_served_results_match_direct_executor_exactly(served):
+    payloads = _payloads()
+    events = []
+    with ServeClient(served.socket_path) as client:
+        done = client.submit(payloads, tenant="alice",
+                             on_event=events.append)
+
+    assert [e["event"] for e in events] == ["accepted"] + \
+        ["progress"] * (len(events) - 1)
+    assert done["stats"] == {"requests": 2, "new": 2, "cached": 0,
+                             "errors": 0}
+    with Executor(workers=0) as ex:
+        direct = ex.run_many([RunRequest.from_payload(p)
+                              for p in payloads])
+    # Byte-identical answers: same latencies, same hashes as the
+    # requests' own content addresses.
+    for res, ref, payload in zip(done["results"], direct, payloads):
+        assert res["latency_s"] == ref.latency_s
+        assert res["provenance"]["request_hash"] \
+            == RunRequest.from_payload(payload).key()
+        assert res["provenance"]["sim_version"] == SIM_VERSION
+        assert res["provenance"]["cache"] == "miss"
+
+
+def test_warm_resubmit_serves_entirely_from_cache(served):
+    payloads = _payloads()
+    with ServeClient(served.socket_path) as client:
+        cold = client.submit(payloads, tenant="alice")
+    with ServeClient(served.socket_path) as client:
+        warm = client.submit(payloads, tenant="bob")
+    assert warm["stats"]["new"] == 0
+    assert warm["stats"]["cached"] == len(payloads)
+    assert [r["latency_s"] for r in warm["results"]] \
+        == [r["latency_s"] for r in cold["results"]]
+    assert all(r["provenance"]["cache"] == "hit" for r in warm["results"])
+
+
+def test_cache_survives_daemon_restart():
+    fixture = DaemonFixture(workers=0)
+    fixture.start()
+    payloads = _payloads()
+    try:
+        with ServeClient(fixture.socket_path) as client:
+            client.submit(payloads)
+        with ServeClient(fixture.socket_path) as client:
+            client.shutdown()
+        fixture.thread.join(timeout=10)
+
+        # Same state dir, fresh daemon: everything is a hit.
+        reborn = ServeDaemon(fixture.socket_path, workers=0,
+                             cache=os.path.join(fixture.dir, "cache"),
+                             state_dir=fixture.dir)
+        thread = threading.Thread(
+            target=lambda: asyncio.run(reborn.run()), daemon=True)
+        thread.start()
+        for _ in range(200):
+            if os.path.exists(fixture.socket_path):
+                break
+            threading.Event().wait(0.02)
+        with ServeClient(fixture.socket_path) as client:
+            warm = client.submit(payloads)
+            client.shutdown()
+        thread.join(timeout=10)
+        assert warm["stats"]["new"] == 0
+        assert warm["stats"]["cached"] == len(payloads)
+    finally:
+        fixture.stop()
+
+
+def test_component_error_is_per_request_not_fatal(served):
+    good = _payloads(sizes=(64,))
+    bad = _payloads(sizes=(64,), component="no-such-component")
+    with ServeClient(served.socket_path) as client:
+        done = client.submit(bad + good, tenant="a")
+    assert done["stats"]["errors"] == 1
+    by_component = {r["request"]["component"]: r for r in done["results"]}
+    assert by_component["no-such-component"]["latency_s"] is None
+    assert by_component["no-such-component"]["provenance"]["cache"] \
+        == "error"
+    assert "error" in by_component["no-such-component"]
+    assert by_component["xhc-tree"]["latency_s"] is not None
+
+
+# -- fairness ----------------------------------------------------------------
+
+
+def test_two_concurrent_tenants_both_make_progress(served):
+    # A whale (10 requests) and a minnow (2) submit together; the
+    # minnow must finish long before the whale's tail, because chunk
+    # dispatch round-robins across tenants (batch_size=2 here).
+    whale_payloads = _payloads(sizes=tuple(64 * (i + 1) for i in range(10)))
+    minnow_payloads = _payloads(sizes=(96, 97))
+    order = []
+    results = {}
+
+    def run(tenant, payloads):
+        with ServeClient(served.socket_path, timeout=60) as client:
+            results[tenant] = client.submit(payloads, tenant=tenant)
+        order.append(tenant)
+
+    whale = threading.Thread(target=run, args=("whale", whale_payloads))
+    whale.start()
+    # Make sure the whale's job is queued first.
+    for _ in range(200):
+        if served.daemon.scheduler.submitted >= 1:
+            break
+        threading.Event().wait(0.01)
+    minnow = threading.Thread(target=run, args=("minnow", minnow_payloads))
+    minnow.start()
+    minnow.join(timeout=120)
+    whale.join(timeout=120)
+    assert not minnow.is_alive() and not whale.is_alive()
+
+    assert results["minnow"]["stats"]["errors"] == 0
+    assert results["whale"]["stats"]["errors"] == 0
+    assert results["whale"]["stats"]["requests"] == 10
+    # If the minnow had been starved behind the whale, it would have
+    # finished last every time; interleaving lets it finish first.
+    if order[0] == "whale":
+        # Tolerate the race where the whale drained before the minnow
+        # was even accepted — but the minnow must still have been served.
+        assert results["minnow"]["stats"]["requests"] == 2
+
+
+def test_status_reports_queue_store_and_metrics(served):
+    with ServeClient(served.socket_path) as client:
+        client.submit(_payloads())
+        status = client.status()
+    assert status["protocol"] == PROTOCOL_VERSION
+    assert status["sim_version"] == SIM_VERSION
+    assert status["accepting"] is True
+    assert status["store"]["entries"] == 2
+    assert status["executor"]["simulations"] == 2
+    assert status["metrics"]["serve.jobs.completed"]["value"] == 1
+    assert status["queue"]["pending_requests"] == 0
+
+
+# -- served tables -----------------------------------------------------------
+
+
+def test_tables_endpoint_serves_and_lists(served):
+    tables_dir = os.path.join(served.dir, "tuned")
+    table = DecisionTable()
+    table.record("epyc-1p", "bcast", 65536, XhcConfig(hierarchy="numa"),
+                 2e-6, baseline_s=4e-6, nranks=16)
+    os.makedirs(tables_dir, exist_ok=True)
+    table.save(os.path.join(tables_dir, "decision_table.json"))
+
+    with ServeClient(served.socket_path) as client:
+        found = client.tables("epyc-1p", "bcast", 65536)
+        missing = client.tables("arm-n1", "bcast", 64)
+        listing = client.tables()
+    assert found["found"] is True
+    assert found["decision"]["config"]["hierarchy"] == "numa"
+    assert found["decision"]["etag"]
+    assert missing["found"] is False
+    assert len(listing["tables"]) == 1
+    assert listing["tables"][0]["entries"] == 1
+
+
+# -- graceful shutdown -------------------------------------------------------
+
+
+def test_shutdown_drains_inflight_jobs():
+    fixture = DaemonFixture(workers=0, batch_size=1)
+    fixture.start()
+    payloads = _payloads(sizes=tuple(64 + i for i in range(6)))
+    done_holder = {}
+
+    def submit():
+        with ServeClient(fixture.socket_path, timeout=60) as client:
+            done_holder["done"] = client.submit(payloads, tenant="a")
+
+    try:
+        submitter = threading.Thread(target=submit)
+        submitter.start()
+        for _ in range(400):
+            if fixture.daemon.scheduler.submitted >= 1:
+                break
+            threading.Event().wait(0.01)
+        # Shutdown while the job is (likely) still running chunks: the
+        # submitter must still receive its full done event.
+        with ServeClient(fixture.socket_path, timeout=60) as client:
+            bye = client.shutdown()
+        submitter.join(timeout=120)
+        fixture.thread.join(timeout=30)
+        assert not submitter.is_alive()
+        assert bye["event"] == "bye"
+        done = done_holder["done"]
+        assert done["stats"]["requests"] == len(payloads)
+        assert done["stats"]["errors"] == 0
+        # The socket is gone: the daemon is actually down.
+        assert not os.path.exists(fixture.socket_path)
+    finally:
+        fixture.stop()
+
+
+def test_submit_after_drain_is_refused():
+    fixture = DaemonFixture(workers=0)
+    fixture.start()
+    try:
+        with ServeClient(fixture.socket_path) as client:
+            client.shutdown()
+        fixture.thread.join(timeout=10)
+        with pytest.raises(ServeUnreachable):
+            ServeClient(fixture.socket_path, timeout=0.5).ping()
+    finally:
+        fixture.stop()
+
+
+def test_request_ledger_written_per_job(served):
+    with ServeClient(served.socket_path) as client:
+        client.submit(_payloads(), tenant="alice")
+    from repro.serve import RequestLog
+    records = RequestLog(served.dir).records()
+    jobs = [r for r in records if r.get("kind") == "job"]
+    assert len(jobs) == 1
+    assert jobs[0]["tenant"] == "alice"
+    assert jobs[0]["requests"] == 2
+    assert len(jobs[0]["request_hashes"]) == 2

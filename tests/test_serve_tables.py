@@ -1,0 +1,104 @@
+"""Served decision tables: warm cache, etag invalidation, listings."""
+
+import json
+import os
+
+from repro.serve import TableServer
+from repro.tune.table import DecisionTable, bucket_of
+from repro.xhc import XhcConfig
+
+
+def _write_table(path, *, systems=("epyc-1p",), latency=2e-6):
+    table = DecisionTable()
+    for system in systems:
+        table.record(system, "bcast", 65536,
+                     XhcConfig(hierarchy="numa"), latency,
+                     baseline_s=2 * latency, nranks=16)
+        table.record(system, "allreduce", 1024,
+                     XhcConfig(hierarchy="flat"), latency)
+    table.save(path)
+    return table
+
+
+def test_lookup_serves_config_with_etag(tmp_path):
+    path = tmp_path / "decision_table.json"
+    _write_table(path)
+    server = TableServer(tmp_path)
+    decision = server.lookup("epyc-1p", "bcast", 65536)
+    assert decision["config"]["hierarchy"] == "numa"
+    assert decision["bucket"] == bucket_of(65536)
+    assert decision["exact_bucket"] is True
+    assert decision["table"] == os.path.abspath(path)
+    st = os.stat(path)
+    assert decision["etag"] == f"{st.st_mtime_ns}-{st.st_size}"
+    assert decision["latency_us"] is not None
+
+
+def test_nearest_bucket_fallback_is_flagged(tmp_path):
+    _write_table(tmp_path / "decision_table.json")
+    server = TableServer(tmp_path)
+    decision = server.lookup("epyc-1p", "bcast", 128)  # only 64K tuned
+    assert decision["bucket"] == bucket_of(65536)
+    assert decision["exact_bucket"] is False
+
+
+def test_missing_table_and_missing_entry_return_none(tmp_path):
+    server = TableServer(tmp_path)
+    assert server.lookup("epyc-1p", "bcast", 64) is None
+    _write_table(tmp_path / "decision_table.json")
+    assert server.lookup("arm-n1", "bcast", 64) is None
+
+
+def test_warm_cache_reloads_only_on_etag_change(tmp_path):
+    path = tmp_path / "decision_table.json"
+    _write_table(path)
+    server = TableServer(tmp_path)
+    for _ in range(5):
+        server.lookup("epyc-1p", "bcast", 65536)
+    assert server.reloads == 1            # warm after the first stat
+
+    # Rewrite the table (new mtime/size): exactly one more reload, and
+    # the *new* content is served.
+    _write_table(path, latency=9e-6)
+    os.utime(path, ns=(os.stat(path).st_mtime_ns + 1_000_000,) * 2)
+    decision = server.lookup("epyc-1p", "bcast", 65536)
+    assert server.reloads == 2
+    assert decision["latency_us"] == 9.0
+    server.lookup("epyc-1p", "bcast", 65536)
+    assert server.reloads == 2
+
+
+def test_deleted_table_stops_being_served(tmp_path):
+    path = tmp_path / "decision_table.json"
+    _write_table(path)
+    server = TableServer(tmp_path)
+    assert server.lookup("epyc-1p", "bcast", 65536) is not None
+    os.unlink(path)
+    assert server.lookup("epyc-1p", "bcast", 65536) is None
+    assert server.stats()["warm_tables"] == 0
+
+
+def test_available_skips_non_table_json(tmp_path):
+    _write_table(tmp_path / "decision_table.json",
+                 systems=("epyc-1p", "arm-n1"))
+    # A cache file and plain garbage share the directory in real repos.
+    with open(tmp_path / "cache.json", "w") as fh:
+        json.dump({"entries": {"ab": {"latency_s": 1e-6}}}, fh)
+    with open(tmp_path / "notes.json", "w") as fh:
+        fh.write("[1, 2, 3]")
+    server = TableServer(tmp_path)
+    listed = server.available()
+    assert [os.path.basename(t["table"]) for t in listed] \
+        == ["decision_table.json"]
+    assert listed[0]["entries"] == 4
+    assert listed[0]["systems"] == ["arm-n1", "epyc-1p"]
+
+
+def test_stats_counts_lookups(tmp_path):
+    _write_table(tmp_path / "decision_table.json")
+    server = TableServer(tmp_path)
+    server.lookup("epyc-1p", "bcast", 64)
+    server.lookup("epyc-1p", "allreduce", 64)
+    stats = server.stats()
+    assert stats["lookups"] == 2
+    assert stats["warm_tables"] == 1
