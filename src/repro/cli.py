@@ -13,7 +13,9 @@ Commands
 ``check``    correctness tooling: AST lint over the tree and/or the
              race/deadlock sanitizer over an OSU sweep (docs/checking.md)
 ``serve``    the sweep service: ``start`` a daemon, ``submit`` sweeps to
-             it, query ``status``/``tables``, ``stop`` it, render the
+             it, query ``status``/``tables``, scrape ``metrics`` (table /
+             JSON / Prometheus), export a Perfetto job ``trace``, watch
+             the fleet live with ``top``, ``stop`` it, render the
              provenance ``manifest`` (see docs/serving.md)
 
 Exit codes (stable — CI and scripts rely on them)
@@ -426,7 +428,7 @@ def cmd_serve_start(args) -> int:
         args.socket, workers=workers, cache=args.cache,
         tables_root=args.tables, state_dir=args.state_dir,
         batch_size=args.batch_size, max_entries=args.max_entries,
-        max_bytes=args.max_bytes,
+        max_bytes=args.max_bytes, telemetry=not args.no_telemetry,
         log=lambda msg: print(f"[serve] {msg}", flush=True))
     try:
         asyncio.run(daemon.run())
@@ -572,6 +574,137 @@ def cmd_serve_stop(args) -> int:
     print(f"[daemon drained {bye.get('drained_jobs', 0)} job(s) and "
           f"stopped after {bye.get('uptime_s', 0):.0f}s]")
     return 0
+
+
+def cmd_serve_metrics(args) -> int:
+    with _serve_client(args) as client:
+        reply = client.metrics()
+    if args.prometheus:
+        sys.stdout.write(reply.get("prometheus", ""))
+        if args.json:
+            write_json(args.json, reply)
+        return 0
+    snapshot = reply.get("metrics", {})
+    rows = []
+    for name, entry in sorted(snapshot.items()):
+        if entry.get("type") == "histogram":
+            value = f"n={entry.get('count', 0)} mean={entry.get('mean', 0):.4g}"
+            pcts = " ".join(
+                f"{p}={entry[p]:.4g}" for p in ("p50", "p95", "p99")
+                if entry.get(p) is not None)
+        else:
+            v = entry.get("value", 0)
+            value = f"{v:.4g}" if isinstance(v, float) else str(v)
+            pcts = ""
+        rows.append([name, entry.get("type", "?"), value, pcts])
+    print(render_rows(f"serve metrics @ {args.socket or 'default socket'} "
+                      f"(uptime {reply.get('uptime_s', 0):.0f}s)",
+                      ["metric", "kind", "value", "percentiles"], rows))
+    log_info = reply.get("event_log") or {}
+    if log_info.get("path"):
+        print(f"[event log: {log_info['path']} "
+              f"({log_info.get('written', 0)} record(s), "
+              f"{log_info.get('rotations', 0)} rotation(s))]")
+    if args.json:
+        write_json(args.json, reply)
+        print(f"[wrote metrics to {args.json}]")
+    return 0
+
+
+def cmd_serve_trace(args) -> int:
+    import json as json_mod
+
+    from .obs.export import validate_chrome_trace
+
+    with _serve_client(args) as client:
+        reply = client.trace(args.job)
+    doc = reply.get("trace")
+    problems = validate_chrome_trace(doc)
+    if problems:
+        for problem in problems:
+            print(f"invalid trace: {problem}", file=sys.stderr)
+        return 1
+    out = args.out
+    if out is None:
+        out = (f"results/serve/trace_job{args.job}.json"
+               if args.job is not None else "results/serve/trace.json")
+    directory = os.path.dirname(out)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(out, "w") as fh:
+        json_mod.dump(doc, fh, indent=1)
+        fh.write("\n")
+    other = doc.get("otherData", {})
+    scope = (f"job {args.job}" if args.job is not None
+             else f"{other.get('jobs', '?')} job(s)")
+    print(f"[wrote {scope}: {len(doc.get('traceEvents', []))} events "
+          f"({other.get('spans', '?')} spans) to {out}; open in "
+          f"https://ui.perfetto.dev]")
+    return 0
+
+
+def _top_frame(status: dict, metrics_reply: dict, socket_path: str) -> str:
+    """One rendered frame of the live fleet view."""
+    queue = status.get("queue", {})
+    cache = status.get("cache") or {}
+    snapshot = metrics_reply.get("metrics", {})
+    lines = [
+        f"serve top @ {socket_path} — "
+        f"uptime {status.get('uptime_s', 0):.0f}s, "
+        f"accepting={status.get('accepting')}",
+        f"  jobs: {queue.get('submitted_jobs', 0)} submitted, "
+        f"{queue.get('completed_jobs', 0)} completed; "
+        f"{queue.get('pending_requests', 0)} request(s) queued in "
+        f"{queue.get('pending_chunks', 0)} chunk(s); "
+        f"in-flight chunks: {queue.get('inflight_chunks', 0)}",
+        f"  cache: {cache.get('hits', 0)} hits / "
+        f"{cache.get('misses', 0)} misses "
+        f"(hit rate {100 * cache.get('hit_rate', 0.0):.0f}%), "
+        f"{cache.get('entries', 0)} entries; "
+        f"evictions {cache.get('evictions', 0)}, "
+        f"quarantined {cache.get('quarantined', 0)}",
+    ]
+    job_hist = snapshot.get("serve.job.latency_seconds") or {}
+    if job_hist.get("count"):
+        pcts = " ".join(
+            f"{p}={job_hist[p] * 1e3:.3g}ms" for p in ("p50", "p95", "p99")
+            if job_hist.get(p) is not None)
+        lines.append(f"  job latency: {pcts} "
+                     f"(n={job_hist['count']}, "
+                     f"mean={job_hist.get('mean', 0) * 1e3:.3g}ms)")
+    totals = queue.get("tenant_totals", {})
+    depths = queue.get("tenants", {})
+    if totals:
+        rows = [
+            [tenant, counts.get("submitted", 0), counts.get("completed", 0),
+             depths.get(tenant, {}).get("requests", 0)]
+            for tenant, counts in sorted(totals.items())
+        ]
+        lines.append(render_rows(
+            "tenants", ["tenant", "submitted", "completed", "queued"], rows))
+    return "\n".join(lines)
+
+
+def cmd_serve_top(args) -> int:
+    import time  # lint: disable=RC101  (live-view refresh pacing)
+
+    try:
+        while True:
+            with _serve_client(args) as client:
+                status = client.status()
+                metrics_reply = client.metrics()
+                socket_path = client.socket_path
+            frame = _top_frame(status, metrics_reply, socket_path)
+            if args.once:
+                print(frame)
+                return 0
+            # Clear-and-home between frames, like watch(1); keep it a
+            # plain print so piping to a file still yields parseable
+            # frames.
+            print("\x1b[2J\x1b[H" + frame, flush=True)
+            time.sleep(max(0.1, args.interval))
+    except KeyboardInterrupt:
+        return 0
 
 
 def cmd_serve_manifest(args) -> int:
@@ -851,6 +984,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="evict the store down to N entries on flush")
     sp.add_argument("--max-bytes", type=int, default=None, metavar="N",
                     help="evict the store down to N payload bytes on flush")
+    sp.add_argument("--no-telemetry", action="store_true",
+                    help="disable job-lifecycle telemetry (spans, latency "
+                         "histograms, event log; docs/observability.md)")
     sp.set_defaults(fn=cmd_serve, serve_fn=cmd_serve_start)
 
     sp = serve_sub.add_parser(
@@ -888,6 +1024,36 @@ def build_parser() -> argparse.ArgumentParser:
                     help="table filename under the served root "
                          "(default: decision_table.json)")
     sp.set_defaults(fn=cmd_serve, serve_fn=cmd_serve_tables)
+
+    sp = serve_sub.add_parser(
+        "metrics", help="scrape telemetry: table, JSON, or Prometheus",
+        parents=[_serve_flags(),
+                 _json_flags("write the raw metrics event here")])
+    sp.add_argument("--prometheus", action="store_true",
+                    help="print the Prometheus text exposition instead "
+                         "of the table")
+    sp.set_defaults(fn=cmd_serve, serve_fn=cmd_serve_metrics)
+
+    sp = serve_sub.add_parser(
+        "trace", help="export a Perfetto job-lifecycle trace",
+        parents=[_serve_flags()])
+    sp.add_argument("--job", type=int, default=None, metavar="ID",
+                    help="one job's span tree (default: every retained "
+                         "job)")
+    sp.add_argument("--out", default=None, metavar="PATH",
+                    help="trace file (default: "
+                         "results/serve/trace[_jobID].json)")
+    sp.set_defaults(fn=cmd_serve, serve_fn=cmd_serve_trace)
+
+    sp = serve_sub.add_parser(
+        "top", help="live fleet view: tenants, queues, latency "
+                    "percentiles",
+        parents=[_serve_flags()])
+    sp.add_argument("--interval", type=float, default=2.0, metavar="SECS",
+                    help="refresh period (default: 2.0)")
+    sp.add_argument("--once", action="store_true",
+                    help="print one frame and exit (scripts, CI)")
+    sp.set_defaults(fn=cmd_serve, serve_fn=cmd_serve_top)
 
     sp = serve_sub.add_parser(
         "stop", help="drain in-flight jobs and stop the daemon",

@@ -23,14 +23,15 @@ or scope an executor ambiently so existing sweeps pick it up::
 """
 
 from .api import run, run_inline, run_many
-from .cache import (DEFAULT_CACHE_PATH, SIM_VERSION, ResultCache, cache_key,
-                    default_cache_path, store_layout)
+from .cache import (DEFAULT_CACHE_PATH, SIM_VERSION, CacheStats, ResultCache,
+                    cache_key, default_cache_path, store_layout)
 from .executor import Executor, get_executor, using_executor
 from .request import RUN_KINDS, RunRequest, RunResult
 from .store import ShardedStore
 from .worker import execute, get_topology, resolve_component, run_batch
 
 __all__ = [
+    "CacheStats",
     "DEFAULT_CACHE_PATH",
     "Executor",
     "RUN_KINDS",

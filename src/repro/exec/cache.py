@@ -27,6 +27,7 @@ be size-bounded with LRU eviction (see docs/serving.md).
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import os
@@ -72,6 +73,29 @@ def store_layout(path: str) -> tuple[str, str]:
     if path.endswith(".json"):
         return os.path.dirname(path) or ".", path
     return path, os.path.join(path, LEGACY_FLAT_NAME)
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheStats:
+    """One coherent snapshot of a :class:`ResultCache`'s accounting —
+    what the serve daemon scrapes into its telemetry after every chunk
+    (hit/miss totals from this process, eviction/quarantine totals from
+    the backing store's lifetime counters)."""
+
+    hits: int
+    misses: int
+    entries: int
+    evictions: int
+    quarantined: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {**dataclasses.asdict(self),
+                "hit_rate": round(self.hit_rate, 6)}
 
 
 class ResultCache:
@@ -148,6 +172,19 @@ class ResultCache:
         self._dirty.clear()
         self.store.evict()
         self.store.save_ledger()
+
+    def stats(self) -> CacheStats:
+        """Cheap accounting snapshot (no filesystem walk; ``entries``
+        counts the current ``SIM_VERSION`` generation)."""
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            entries=len(self),
+            evictions=(self.store.evictions_total
+                       if self.store is not None else 0),
+            quarantined=(self.store.quarantined_total
+                         if self.store is not None else 0),
+        )
 
     def store_info(self) -> dict | None:
         """Totals + policy of the backing store (``None`` if in-memory)."""

@@ -22,6 +22,7 @@ from __future__ import annotations
 import concurrent.futures
 import os
 from contextlib import contextmanager
+from time import perf_counter  # lint: disable=RC101  (telemetry wall time)
 from typing import Callable, Iterator, Sequence
 
 from .cache import ResultCache
@@ -55,6 +56,13 @@ class Executor:
         self.workers = workers
         self.budget = budget
         self.progress = progress
+        #: Optional telemetry hook ``(phase, wall_seconds, count)`` fired
+        #: after the cache-lookup and worker-execute phases of each
+        #: ``run_many`` call. ``None`` (the default, and the posture of
+        #: every bare Executor) costs two ``is None`` checks per sweep —
+        #: the serve daemon installs
+        #: :meth:`repro.obs.svc.ServiceTelemetry.executor_phase` here.
+        self.on_timing: "Callable[[str, float, int], None] | None" = None
         self.simulations = 0
         self._pool: concurrent.futures.ProcessPoolExecutor | None = None
         self._pool_size = 0
@@ -162,6 +170,7 @@ class Executor:
         todo: list[tuple[int, RunRequest]] = []
         seen: dict[str, int] = {}        # payload key -> first todo index
         duplicates: dict[int, list[int]] = {}
+        t_lookup = perf_counter() if self.on_timing is not None else 0.0
         for i, req in enumerate(requests):
             if req.cacheable:
                 cached = self.cache.get(req.payload())
@@ -175,10 +184,17 @@ class Executor:
                     continue
                 seen[key] = i
             todo.append((i, req))
+        if self.on_timing is not None:
+            self.on_timing("cache-lookup", perf_counter() - t_lookup,
+                           len(requests))
         if self.budget_left is not None:
             todo = todo[:self.budget_left]
         if todo:
+            t_exec = perf_counter() if self.on_timing is not None else 0.0
             self._execute_todo(todo, results)
+            if self.on_timing is not None:
+                self.on_timing("worker-execute", perf_counter() - t_exec,
+                               len(todo))
         for first, extra_idx in duplicates.items():
             primary = results[first]
             for i in extra_idx:

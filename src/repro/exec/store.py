@@ -79,8 +79,13 @@ class ShardedStore:
         self.root = os.fspath(root)
         self.max_entries = max_entries
         self.max_bytes = max_bytes
+        # ``evictions``/``quarantined`` fold into the on-disk ledger on
+        # every save_ledger() and reset; the ``*_total`` counters keep
+        # the whole-lifetime view a long-lived daemon scrapes.
         self.evictions = 0
         self.quarantined = 0
+        self.evictions_total = 0
+        self.quarantined_total = 0
         # {version: set(digests)} — lazily scanned, incrementally updated
         # by our own writes/evictions; external writers are picked up on
         # the next refresh() / save_ledger().
@@ -225,7 +230,19 @@ class ShardedStore:
             removed += 1
         if removed:
             self.evictions += removed
+            self.evictions_total += removed
             self.refresh()
+            bounds = ", ".join(
+                part for part in (
+                    f"max {self.max_entries} entries"
+                    if self.max_entries is not None else "",
+                    f"max {self.max_bytes} bytes"
+                    if self.max_bytes is not None else "") if part)
+            warnings.warn(
+                f"evicted {removed} result-cache entr"
+                f"{'y' if removed == 1 else 'ies'} from {self.root!r} "
+                f"to fit {bounds} ({self.evictions_total} total this "
+                f"process)", RuntimeWarning, stacklevel=2)
         return removed
 
     # -- quarantine -------------------------------------------------------
@@ -245,10 +262,12 @@ class ShardedStore:
         except FileNotFoundError:  # pragma: no cover - raced
             return None
         self.quarantined += 1
+        self.quarantined_total += 1
         warnings.warn(
             f"quarantined corrupt cache entry {path!r} -> {dest!r} "
-            f"({reason}); treating as a miss", RuntimeWarning,
-            stacklevel=3)
+            f"({reason}); treating as a miss "
+            f"({self.quarantined_total} total this process)",
+            RuntimeWarning, stacklevel=3)
         return dest
 
     # -- ledger -----------------------------------------------------------

@@ -33,6 +33,54 @@ def _pid_of(core: int) -> int:
     return core if core >= 0 else _SETUP_PID
 
 
+def spans_to_chrome_trace(spans, *, thread_names: "dict[int, tuple[int, str]]",
+                          process_names: "dict[int, str]",
+                          other_data: dict | None = None) -> dict:
+    """Generic Trace Event document from closed :class:`SpanRecord`\\ s.
+
+    ``thread_names`` maps a span track to ``(pid, thread label)``;
+    ``process_names`` labels each pid. This is the shared back end for
+    both simulated-time traces (:func:`to_chrome_trace`) and the serve
+    daemon's wall-clock job-lifecycle traces
+    (:meth:`repro.obs.svc.ServiceTelemetry.trace_doc`) — both produce
+    documents :func:`validate_chrome_trace` accepts.
+    """
+    events: list[dict] = []
+    for pid in sorted(process_names):
+        events.append({
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "args": {"name": process_names[pid]},
+        })
+        events.append({
+            "ph": "M", "name": "process_sort_index", "pid": pid,
+            "tid": 0, "args": {"sort_index": pid},
+        })
+    for track in sorted(thread_names):
+        pid, label = thread_names[track]
+        events.append({
+            "ph": "M", "name": "thread_name", "pid": pid, "tid": track,
+            "args": {"name": label},
+        })
+    for span in spans:
+        if span.end is None:
+            continue
+        pid = thread_names.get(span.track, (0, ""))[0]
+        event = {
+            "ph": "X", "name": span.name, "cat": span.cat,
+            "ts": span.start * 1e6, "dur": (span.end - span.start) * 1e6,
+            "pid": pid, "tid": span.track,
+        }
+        if span.args:
+            event["args"] = {k: v for k, v in span.args.items()
+                             if isinstance(v, (int, float, str, bool))}
+        events.append(event)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": dict(other_data or {}),
+    }
+
+
 def to_chrome_trace(node: "Node", include_metrics: bool = True) -> dict:
     """Export an observed run as a Trace Event Format document."""
     obs: "Observer" = node.obs

@@ -1,0 +1,460 @@
+"""Service-layer telemetry: job-lifecycle tracing for ``repro.serve``.
+
+PR 2's observer traces one *simulated* run over simulated time; this
+module traces the *service* over wall-clock time. Every job the daemon
+accepts gets a lifecycle span tree —
+
+    job                                  (submit .. publish, one track)
+      queue-wait                         (submit .. first chunk dispatch)
+      chunk                              (one per fairness chunk)
+        cache-lookup                     (executor classification)
+        worker-execute                   (simulation / pool fan-out)
+      publish                            (results handed to the stream)
+
+— recorded as plain :class:`~repro.obs.spans.SpanRecord` objects (track
+= job id, Perfetto process = tenant), so a whole service session exports
+through :func:`repro.obs.export.spans_to_chrome_trace` as one trace and
+passes the same :func:`~repro.obs.export.validate_chrome_trace` check CI
+runs on simulated-time traces.
+
+Alongside the spans, the telemetry feeds the daemon's shared
+:class:`~repro.obs.metrics.MetricsRegistry` (queue-wait / scheduling /
+execution / end-to-end latency histograms with p50/p95/p99, per-tenant
+queue-depth gauges and job counters, mirrored cache totals) and appends
+one line per lifecycle transition to a size-rotated JSONL event log —
+the durable record ``repro serve top`` and the CI smoke job read back.
+
+Telemetry is *on* in the daemon and *off* everywhere else: a bare
+:class:`~repro.exec.Executor` has no timing hooks installed and pays two
+``None`` checks per sweep; simulated latencies are wall-clock-free by
+construction, so golden snapshots cannot move either way.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time  # lint: disable=RC101  (service wall clock, not simulated time)
+from collections import OrderedDict
+
+from .export import spans_to_chrome_trace
+from .metrics import MetricsRegistry
+from .spans import SpanRecord
+
+#: The rotated event log's base name inside the daemon state dir.
+EVENT_LOG_NAME = "events.jsonl"
+
+#: Rotate the event log when the live file would exceed this.
+DEFAULT_LOG_MAX_BYTES = 1 << 20
+
+#: Rotations kept (``events.jsonl.1`` is the newest closed segment).
+DEFAULT_LOG_KEEP = 3
+
+#: Finished job traces retained in memory for the ``trace`` op.
+DEFAULT_MAX_TRACES = 256
+
+
+class EventLog:
+    """Append-only, size-rotated JSONL log of service lifecycle events.
+
+    One compact JSON object per line. When an append would push the live
+    file past ``max_bytes`` it is rotated (``events.jsonl`` →
+    ``events.jsonl.1`` → … → ``events.jsonl.<keep>``, oldest dropped),
+    so a long-lived daemon's log is bounded at roughly
+    ``(keep + 1) * max_bytes``. A ``None`` path disables the log.
+    """
+
+    def __init__(self, path: str | os.PathLike | None, *,
+                 max_bytes: int = DEFAULT_LOG_MAX_BYTES,
+                 keep: int = DEFAULT_LOG_KEEP) -> None:
+        self.path = os.fspath(path) if path is not None else None
+        self.max_bytes = max_bytes
+        self.keep = keep
+        self.written = 0
+        self.rotations = 0
+        self._lock = threading.Lock()
+
+    def append(self, record: dict) -> None:
+        if self.path is None:
+            return
+        line = json.dumps(record, sort_keys=True,
+                          separators=(",", ":")) + "\n"
+        with self._lock:
+            os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+            try:
+                size = os.path.getsize(self.path)
+            except OSError:
+                size = 0
+            if size and size + len(line) > self.max_bytes:
+                self._rotate()
+            with open(self.path, "a") as fh:
+                fh.write(line)
+            self.written += 1
+
+    def _rotate(self) -> None:
+        for n in range(self.keep, 0, -1):
+            src = self.path if n == 1 else f"{self.path}.{n - 1}"
+            dst = f"{self.path}.{n}"
+            try:
+                os.replace(src, dst)
+            except FileNotFoundError:
+                continue
+        self.rotations += 1
+
+    def segments(self) -> list[str]:
+        """Existing log files, newest first (live file leads)."""
+        if self.path is None:
+            return []
+        out = [p for p in [self.path]
+               + [f"{self.path}.{n}" for n in range(1, self.keep + 1)]
+               if os.path.exists(p)]
+        return out
+
+    def records(self) -> list[dict]:
+        """Every intact record across all segments, oldest first; torn
+        or corrupt lines are skipped, never fatal."""
+        out: list[dict] = []
+        for path in reversed(self.segments()):
+            with open(path) as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue
+                    if isinstance(record, dict):
+                        out.append(record)
+        return out
+
+
+class JobTrace:
+    """The lifecycle span tree of one served job (track = job id)."""
+
+    __slots__ = ("job_id", "tenant", "total", "spans", "stack",
+                 "submitted_at", "first_chunk_at", "last_chunk_end",
+                 "finished_at", "chunks")
+
+    def __init__(self, job_id: int, tenant: str, total: int,
+                 submitted_at: float) -> None:
+        self.job_id = job_id
+        self.tenant = tenant
+        self.total = total
+        self.spans: list[SpanRecord] = []
+        self.stack: list[SpanRecord] = []
+        self.submitted_at = submitted_at
+        self.first_chunk_at: float | None = None
+        self.last_chunk_end: float | None = None
+        self.finished_at: float | None = None
+        self.chunks = 0
+
+    @property
+    def finished(self) -> bool:
+        return self.finished_at is not None
+
+    @property
+    def wall_s(self) -> float | None:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+
+class ServiceTelemetry:
+    """Job-lifecycle spans, service metrics, and the rotated event log.
+
+    One instance lives on the daemon and shares its
+    :class:`MetricsRegistry`; the daemon calls the ``job_*``/``chunk_*``
+    hooks from its event loop and installs :meth:`executor_phase` as the
+    executor's timing hook (it fires on the worker thread — span
+    mutation is lock-protected). ``enabled=False`` turns every hook into
+    a cheap no-op, which is also the default posture of a bare
+    :class:`~repro.exec.Executor` outside the daemon.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None,
+                 state_dir: str | os.PathLike | None = None, *,
+                 enabled: bool = True,
+                 max_traces: int = DEFAULT_MAX_TRACES,
+                 log_max_bytes: int = DEFAULT_LOG_MAX_BYTES,
+                 log_keep: int = DEFAULT_LOG_KEEP,
+                 clock=None) -> None:
+        self.enabled = enabled
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self.clock = clock or time.monotonic
+        self.epoch = self.clock()
+        log_path = (os.path.join(os.fspath(state_dir), EVENT_LOG_NAME)
+                    if (enabled and state_dir is not None) else None)
+        self.events = EventLog(log_path, max_bytes=log_max_bytes,
+                               keep=log_keep)
+        self.max_traces = max_traces
+        self._traces: "OrderedDict[int, JobTrace]" = OrderedDict()
+        self._tenant_pids: dict[str, int] = {}
+        self._current: JobTrace | None = None
+        self._ids = itertools.count()
+        self._lock = threading.Lock()
+        if not enabled:
+            return
+        m = self.metrics
+        self._h_job = m.histogram(
+            "serve.job.latency_seconds",
+            "end-to-end job latency (submit to publish)", scale=1e-6)
+        self._h_queue = m.histogram(
+            "serve.job.queue_wait_seconds",
+            "submit to first chunk dispatch", scale=1e-6)
+        self._h_schedule = m.histogram(
+            "serve.chunk.schedule_seconds",
+            "chunk wait between readiness and dispatch", scale=1e-6)
+        self._h_execute = m.histogram(
+            "serve.chunk.execute_seconds",
+            "wall time executing one fairness chunk", scale=1e-6)
+        self._h_lookup = m.histogram(
+            "serve.exec.cache_lookup_seconds",
+            "executor cache-classification phase", scale=1e-6)
+        self._h_worker = m.histogram(
+            "serve.exec.worker_execute_seconds",
+            "executor simulation/fan-out phase", scale=1e-6)
+        self._c_busy = m.gauge(
+            "serve.worker.busy_seconds",
+            "cumulative wall seconds spent executing chunks")
+        self._g_inflight = m.gauge(
+            "serve.inflight.chunks", "chunks executing right now")
+
+    # -- time -------------------------------------------------------------
+
+    def now(self) -> float:
+        """Wall seconds since the telemetry epoch (daemon start)."""
+        return self.clock() - self.epoch
+
+    # -- span plumbing ----------------------------------------------------
+
+    def _open(self, trace: JobTrace, name: str, cat: str,
+              args: dict | None = None) -> SpanRecord:
+        parent = trace.stack[-1].id if trace.stack else None
+        rec = SpanRecord(next(self._ids), name, cat, trace.job_id,
+                         self.now(), None, parent, args)
+        trace.stack.append(rec)
+        return rec
+
+    def _close(self, trace: JobTrace, name: str | None = None,
+               args: dict | None = None) -> None:
+        if not trace.stack:
+            return
+        if name is not None and trace.stack[-1].name != name:
+            return
+        rec = trace.stack.pop()
+        rec.end = self.now()
+        if args:
+            rec.args = {**(rec.args or {}), **args}
+        trace.spans.append(rec)
+
+    def _tenant_pid(self, tenant: str) -> int:
+        pid = self._tenant_pids.get(tenant)
+        if pid is None:
+            pid = len(self._tenant_pids)
+            self._tenant_pids[tenant] = pid
+        return pid
+
+    # -- lifecycle hooks (called by the daemon) ---------------------------
+
+    def job_submitted(self, job) -> None:
+        """A job was accepted: open its root + queue-wait spans."""
+        if not self.enabled:
+            return
+        with self._lock:
+            trace = JobTrace(job.id, job.tenant, job.total, self.now())
+            self._traces[job.id] = trace
+            while len(self._traces) > self.max_traces:
+                self._traces.popitem(last=False)
+            self._tenant_pid(job.tenant)
+            self._open(trace, "job", "job",
+                       {"tenant": job.tenant, "total": job.total})
+            self._open(trace, "queue-wait", "queue")
+            self.metrics.counter(
+                f"serve.tenant.jobs.{job.tenant}",
+                "jobs submitted by this tenant").inc()
+        self.events.append({"event": "submit", "t": round(self.now(), 6),
+                            "job": job.id, "tenant": job.tenant,
+                            "requests": job.total})
+
+    def chunk_started(self, job, indices: "list[int]") -> None:
+        """A chunk of ``job`` was dispatched to the executor."""
+        if not self.enabled:
+            return
+        with self._lock:
+            trace = self._traces.get(job.id)
+            if trace is None:
+                return
+            now = self.now()
+            if trace.first_chunk_at is None:
+                trace.first_chunk_at = now
+                self._close(trace, "queue-wait")
+                self._h_queue.observe(now - trace.submitted_at)
+            ready_since = (trace.last_chunk_end
+                           if trace.last_chunk_end is not None
+                           else trace.submitted_at)
+            self._h_schedule.observe(max(0.0, now - ready_since))
+            trace.chunks += 1
+            self._open(trace, "chunk", "chunk",
+                       {"index": trace.chunks, "requests": len(indices)})
+            self._current = trace
+            self._g_inflight.set(1)
+
+    def executor_phase(self, phase: str, seconds: float,
+                       count: int = 0) -> None:
+        """Executor timing hook: a ``cache-lookup`` or ``worker-execute``
+        phase of the in-flight chunk finished (runs on the worker
+        thread)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            trace = self._current
+            now = self.now()
+            if trace is not None and trace.stack:
+                parent = trace.stack[-1].id
+                rec = SpanRecord(next(self._ids), phase, "exec",
+                                 trace.job_id, max(0.0, now - seconds), now,
+                                 parent, {"requests": count})
+                trace.spans.append(rec)
+            if phase == "cache-lookup":
+                self._h_lookup.observe(seconds)
+            elif phase == "worker-execute":
+                self._h_worker.observe(seconds)
+
+    def chunk_finished(self, job, indices: "list[int]", results,
+                       wall_s: float) -> None:
+        """The in-flight chunk of ``job`` completed (results recorded)."""
+        if not self.enabled:
+            return
+        new = sum(1 for r in results
+                  if r is not None and not r.cached and r.error is None)
+        cached = sum(1 for r in results if r is not None and r.cached)
+        errors = len(list(indices)) - new - cached
+        with self._lock:
+            trace = self._traces.get(job.id)
+            if trace is not None:
+                trace.last_chunk_end = self.now()
+                self._close(trace, "chunk",
+                            {"new": new, "cached": cached,
+                             "errors": errors})
+            self._current = None
+            self._h_execute.observe(wall_s)
+            self._c_busy.inc(wall_s)
+            self._g_inflight.set(0)
+        self.events.append({"event": "chunk", "t": round(self.now(), 6),
+                            "job": job.id, "tenant": job.tenant,
+                            "requests": len(list(indices)), "new": new,
+                            "cached": cached, "errors": errors,
+                            "wall_s": round(wall_s, 6)})
+
+    def job_finished(self, job) -> None:
+        """Every chunk of ``job`` is done: publish + close the tree."""
+        if not self.enabled:
+            return
+        with self._lock:
+            trace = self._traces.get(job.id)
+            if trace is None or trace.finished:
+                return
+            publish = self._open(trace, "publish", "publish")
+            self._close(trace)  # publish (instantaneous on this clock)
+            publish.start = (trace.last_chunk_end
+                             if trace.last_chunk_end is not None
+                             else publish.start)
+            trace.finished_at = self.now()
+            # Close the root (and any stragglers, e.g. queue-wait on a
+            # job whose every chunk errored before dispatch).
+            while trace.stack:
+                self._close(trace)
+            self._h_job.observe(trace.wall_s)
+            self.metrics.counter(
+                f"serve.tenant.completed.{job.tenant}",
+                "jobs fully served for this tenant").inc()
+        self.events.append({
+            "event": "done", "t": round(self.now(), 6), "job": job.id,
+            "tenant": job.tenant, "requests": job.total, "new": job.new,
+            "cached": job.cached, "errors": job.errors,
+            "wall_s": round(trace.wall_s, 6)})
+
+    # -- scraped state (cache, queue) -------------------------------------
+
+    def scrape_cache(self, stats) -> None:
+        """Mirror a :class:`~repro.exec.CacheStats` snapshot into gauges
+        so the ``metrics`` op and ``serve top`` see store totals."""
+        if not self.enabled:
+            return
+        m = self.metrics
+        m.gauge("serve.cache.hits", "result-cache hits").set(stats.hits)
+        m.gauge("serve.cache.misses", "result-cache misses").set(
+            stats.misses)
+        m.gauge("serve.cache.entries",
+                "entries in the current generation").set(stats.entries)
+        m.gauge("serve.cache.evictions",
+                "entries LRU-evicted since daemon start").set(
+            stats.evictions)
+        m.gauge("serve.cache.quarantined",
+                "corrupt entries quarantined since daemon start").set(
+            stats.quarantined)
+
+    def update_queue(self, tenants: dict) -> None:
+        """Refresh per-tenant queue-depth gauges from
+        :meth:`FairScheduler.tenants` (tenants that drained read 0)."""
+        if not self.enabled:
+            return
+        m = self.metrics
+        for tenant in self._tenant_pids:
+            depth = tenants.get(tenant, {}).get("requests", 0)
+            m.gauge(f"serve.queue.depth.{tenant}",
+                    "pending requests for this tenant").set(depth)
+
+    # -- export -----------------------------------------------------------
+
+    def job_ids(self) -> list[int]:
+        return list(self._traces)
+
+    def get_trace(self, job_id: int) -> JobTrace | None:
+        return self._traces.get(job_id)
+
+    def job_wall(self, job_id: int) -> float | None:
+        trace = self._traces.get(job_id)
+        return trace.wall_s if trace is not None else None
+
+    def trace_doc(self, job_id: int | None = None) -> dict | None:
+        """Perfetto/Chrome-trace document for one job (or the whole
+        retained session). ``None`` when the job is unknown or nothing
+        has been traced yet."""
+        if not self.enabled:
+            return None
+        with self._lock:
+            if job_id is not None:
+                trace = self._traces.get(job_id)
+                traces = [trace] if trace is not None else []
+            else:
+                traces = list(self._traces.values())
+            if not traces:
+                return None
+            spans: list[SpanRecord] = []
+            thread_names: dict[int, tuple[int, str]] = {}
+            process_names: dict[int, str] = {}
+            for trace in traces:
+                pid = self._tenant_pid(trace.tenant)
+                process_names[pid] = f"tenant {trace.tenant}"
+                thread_names[trace.job_id] = (pid, f"job {trace.job_id}")
+                spans.extend(trace.spans)
+                spans.extend(rec for rec in trace.stack)  # still open
+            now = self.now()
+            closed = [rec if rec.end is not None else
+                      SpanRecord(rec.id, rec.name, rec.cat, rec.track,
+                                 rec.start, now, rec.parent, rec.args)
+                      for rec in spans]
+            return spans_to_chrome_trace(
+                closed, thread_names=thread_names,
+                process_names=process_names,
+                other_data={
+                    "tool": "repro.obs.svc",
+                    "clock": "wall (seconds since daemon start)",
+                    "jobs": len(traces),
+                    "spans": len(closed),
+                    "metrics": self.metrics.snapshot(),
+                })

@@ -4,9 +4,12 @@ The executor turned every sweep into cached, batched, parallel requests;
 this package turns the executor into a *service*: a long-lived asyncio
 daemon speaking JSON lines over a local socket, with a tenant-fair
 request queue, streamed progress, a sharded size-bounded result store,
-served tuned-decision tables, and provenance on every answer. See
-docs/serving.md for the protocol, fairness and eviction policies, and
-the provenance schema.
+served tuned-decision tables, provenance on every answer, and full
+job-lifecycle telemetry (:mod:`repro.obs.svc`): latency histograms with
+percentiles behind the ``metrics`` op (JSON + Prometheus text), Perfetto
+traces behind the ``trace`` op, and a rotated JSONL event log. See
+docs/serving.md for the protocol, fairness and eviction policies, the
+provenance schema, and the telemetry surface.
 
 Quick use::
 

@@ -138,6 +138,17 @@ class ServeClient:
     def status(self) -> dict:
         return self.request({"op": "status"})
 
+    def metrics(self) -> dict:
+        """Full telemetry scrape: metric snapshot + Prometheus text."""
+        return self.request({"op": "metrics"})
+
+    def trace(self, job: int | None = None) -> dict:
+        """Perfetto trace document for one job (or the whole session)."""
+        message: dict = {"op": "trace"}
+        if job is not None:
+            message["job"] = job
+        return self.request(message)
+
     def tables(self, system: str | None = None, collective: str = "bcast",
                size: int = 0, table: str | None = None) -> dict:
         message: dict = {"op": "tables"}

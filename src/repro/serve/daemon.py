@@ -33,6 +33,7 @@ from ..exec.cache import SIM_VERSION, ResultCache, default_cache_path
 from ..exec.executor import Executor
 from ..exec.request import RunRequest, RunResult
 from ..obs.metrics import MetricsRegistry
+from ..obs.svc import ServiceTelemetry
 from .protocol import (PROTOCOL_VERSION, ProtocolError, default_socket_path,
                        error_event, read_message, write_message)
 from .provenance import RequestLog, job_record, result_to_json
@@ -51,6 +52,7 @@ class ServeDaemon:
                  batch_size: int = 8,
                  max_entries: int | None = None,
                  max_bytes: int | None = None,
+                 telemetry: bool = True,
                  log: "callable | None" = None) -> None:
         self.socket_path = os.fspath(socket_path) if socket_path \
             else default_socket_path()
@@ -68,6 +70,13 @@ class ServeDaemon:
                                   else DEFAULT_TABLES_ROOT)
         self.request_log = RequestLog(self.state_dir)
         self.metrics = MetricsRegistry()
+        # Service telemetry: lifecycle spans + latency histograms + the
+        # rotated event log. On by default *in the daemon*; the bare
+        # Executor stays hook-free unless installed here.
+        self.telemetry = ServiceTelemetry(self.metrics, self.state_dir,
+                                          enabled=telemetry)
+        if telemetry:
+            self.executor.on_timing = self.telemetry.executor_phase
         self.log = log or (lambda msg: None)
         self._events: dict[int, asyncio.Queue] = {}   # job id -> stream
         self._conns: "set[asyncio.Task]" = set()
@@ -170,7 +179,9 @@ class ServeDaemon:
                 continue
             job, indices = item
             requests = [job.requests[i] for i in indices]
+            self.telemetry.chunk_started(job, indices)
             self._busy = True
+            chunk_t0 = time.monotonic()
             try:
                 results = await asyncio.to_thread(
                     self.executor.run_many, requests)
@@ -184,6 +195,10 @@ class ServeDaemon:
                 self._busy = False
             self.scheduler.record(job, indices, results)
             self.executor.cache.save()    # crash loses at most one chunk
+            self.telemetry.chunk_finished(job, indices, results,
+                                          time.monotonic() - chunk_t0)
+            self.telemetry.scrape_cache(self.executor.cache.stats())
+            self.telemetry.update_queue(self.scheduler.tenants())
             self._m_chunks.inc()
             self._m_new.inc(sum(1 for r in results
                                 if r is not None and not r.cached))
@@ -218,8 +233,10 @@ class ServeDaemon:
         })
         if job.finished:
             self._m_jobs_done.inc()
+            self.telemetry.job_finished(job)
             self.request_log.append(
-                job_record(job, socket_path=self.socket_path))
+                job_record(job, socket_path=self.socket_path,
+                           wall_s=self.telemetry.job_wall(job.id)))
             await queue.put(self._job_done_event(job))
 
     def _job_done_event(self, job: Job) -> dict:
@@ -256,6 +273,10 @@ class ServeDaemon:
                     await write_message(writer, self._ping_event())
                 elif op == "status":
                     await write_message(writer, self._status_event())
+                elif op == "metrics":
+                    await write_message(writer, self._metrics_event())
+                elif op == "trace":
+                    await write_message(writer, self._trace_event(message))
                 elif op == "tables":
                     await write_message(writer, self._tables_event(message))
                 elif op == "submit":
@@ -293,13 +314,56 @@ class ServeDaemon:
                 "pending_requests": self.scheduler.pending_requests,
                 "submitted_jobs": self.scheduler.submitted,
                 "completed_jobs": self.scheduler.completed,
+                "inflight_chunks": 1 if self._busy else 0,
                 "tenants": self.scheduler.tenants(),
+                "tenant_totals": self.scheduler.tenant_totals(),
             },
             "executor": self.executor.stats(),
+            "cache": self.executor.cache.stats().as_dict(),
             "store": self.executor.cache.store_info(),
             "tables": self.tables.stats(),
             "metrics": self.metrics.snapshot(),
         }
+
+    def _metrics_event(self) -> dict:
+        telemetry = self.telemetry
+        return {
+            "event": "done", "op": "metrics",
+            "protocol": PROTOCOL_VERSION,
+            "sim_version": SIM_VERSION,
+            "uptime_s": round(self.uptime_s, 3),
+            "telemetry": telemetry.enabled,
+            "metrics": self.metrics.snapshot(),
+            "prometheus": self.metrics.to_prometheus(),
+            "event_log": {
+                "path": telemetry.events.path,
+                "written": telemetry.events.written,
+                "rotations": telemetry.events.rotations,
+                "segments": len(telemetry.events.segments()),
+            },
+        }
+
+    def _trace_event(self, message: dict) -> dict:
+        if not self.telemetry.enabled:
+            self._m_errors.inc()
+            return error_event("telemetry is disabled on this daemon")
+        job_id = message.get("job")
+        if job_id is not None:
+            try:
+                job_id = int(job_id)
+            except (TypeError, ValueError):
+                self._m_errors.inc()
+                return error_event(f"bad job id {job_id!r}")
+        doc = self.telemetry.trace_doc(job_id)
+        if doc is None:
+            self._m_errors.inc()
+            return error_event(
+                f"no trace for job {job_id!r}" if job_id is not None
+                else "no jobs traced yet",
+                jobs=self.telemetry.job_ids())
+        return {"event": "done", "op": "trace", "job": job_id,
+                "jobs": self.telemetry.job_ids(), "trace": doc,
+                "sim_version": SIM_VERSION}
 
     def _tables_event(self, message: dict) -> dict:
         if "system" not in message:
@@ -343,6 +407,7 @@ class ServeDaemon:
             return
         job = self.scheduler.submit(tenant, requests)
         self._m_jobs.inc()
+        self.telemetry.job_submitted(job)
         events: asyncio.Queue = asyncio.Queue()
         self._events[job.id] = events
         self._work.set()
@@ -354,6 +419,7 @@ class ServeDaemon:
                 "total": job.total, "chunks": job.chunks_left,
             })
             if job.finished:              # zero-request edge: done already
+                self.telemetry.job_finished(job)
                 await write_message(writer, self._job_done_event(job))
                 return
             while True:

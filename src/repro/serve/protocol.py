@@ -13,6 +13,8 @@ Operations
 ``ping``      liveness + protocol/simulator version handshake
 ``submit``    run a sweep: ``tenant`` + list of run-request dicts
 ``status``    queue depths, tenants, cache/store accounting, metrics
+``metrics``   full telemetry scrape: snapshot + Prometheus exposition
+``trace``     Perfetto-loadable lifecycle trace (one job or the session)
 ``tables``    serve a tuned decision out of ``results/tuned/``
 ``shutdown``  stop accepting, drain in-flight work, flush, exit
 
@@ -35,7 +37,7 @@ DEFAULT_STATE_DIR = os.path.join("results", "serve")
 DEFAULT_SOCKET_NAME = "daemon.sock"
 
 #: Ops the daemon understands (anything else is an ``error`` event).
-OPS = ("ping", "submit", "status", "tables", "shutdown")
+OPS = ("ping", "submit", "status", "metrics", "trace", "tables", "shutdown")
 
 #: Hard cap on one message line — a submit of ~100k requests fits; a
 #: runaway client cannot make the daemon buffer gigabytes.

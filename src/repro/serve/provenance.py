@@ -115,8 +115,13 @@ class RequestLog:
         return out
 
 
-def job_record(job, *, socket_path: str | None = None) -> dict:
-    """The ledger line for one finished :class:`~repro.serve.queue.Job`."""
+def job_record(job, *, socket_path: str | None = None,
+               wall_s: float | None = None) -> dict:
+    """The ledger line for one finished :class:`~repro.serve.queue.Job`.
+
+    ``wall_s`` is the telemetry-measured end-to-end service latency
+    (submit to publish); ``None`` when telemetry is off.
+    """
     return {
         "kind": "job",
         "job": job.id,
@@ -128,4 +133,5 @@ def job_record(job, *, socket_path: str | None = None) -> dict:
         "sim_version": SIM_VERSION,
         "request_hashes": [req.key() for req in job.requests],
         "socket": socket_path,
+        "wall_s": round(wall_s, 6) if wall_s is not None else None,
     }

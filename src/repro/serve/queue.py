@@ -61,6 +61,10 @@ class FairScheduler:
         self._next_job_id = 1
         self.submitted = 0
         self.completed = 0
+        # Cumulative per-tenant accounting (monotone; survives a tenant
+        # draining out of the rotation) — the ``status`` op reports it.
+        self.submitted_by_tenant: dict[str, int] = {}
+        self.completed_by_tenant: dict[str, int] = {}
 
     # -- intake -----------------------------------------------------------
 
@@ -75,6 +79,8 @@ class FairScheduler:
                   requests=list(requests), chunks=chunks)
         self._next_job_id += 1
         self.submitted += 1
+        self.submitted_by_tenant[tenant] = \
+            self.submitted_by_tenant.get(tenant, 0) + 1
         queue = self._jobs.get(tenant)
         if queue is None:
             queue = self._jobs[tenant] = deque()
@@ -85,6 +91,8 @@ class FairScheduler:
         if not job.chunks:           # zero-request job: trivially finished
             job.finished = True
             self.completed += 1
+            self.completed_by_tenant[tenant] = \
+                self.completed_by_tenant.get(tenant, 0) + 1
             self._prune(tenant)
         return job
 
@@ -125,6 +133,8 @@ class FairScheduler:
         if job.done >= job.total and not job.finished:
             job.finished = True
             self.completed += 1
+            self.completed_by_tenant[job.tenant] = \
+                self.completed_by_tenant.get(job.tenant, 0) + 1
             self._prune(job.tenant)
 
     # -- introspection ----------------------------------------------------
@@ -161,6 +171,21 @@ class FairScheduler:
                 "requests": sum(job.total - job.done for job in queue),
             }
         return out
+
+    def tenant_totals(self) -> dict[str, dict]:
+        """Cumulative per-tenant submitted/completed job counts.
+
+        Unlike :meth:`tenants` (which forgets a tenant once its queue
+        drains), these totals are monotone over the daemon's lifetime.
+        """
+        names = set(self.submitted_by_tenant) | set(self.completed_by_tenant)
+        return {
+            tenant: {
+                "submitted": self.submitted_by_tenant.get(tenant, 0),
+                "completed": self.completed_by_tenant.get(tenant, 0),
+            }
+            for tenant in sorted(names)
+        }
 
     def idle(self) -> bool:
         return self.pending_chunks == 0

@@ -431,3 +431,79 @@ def test_reads_do_not_warn_on_healthy_store(tmp_path):
     with warnings.catch_warnings():
         warnings.simplefilter("error")
         assert ResultCache(tmp_path).get(payload) == pytest.approx(1e-6)
+
+
+# -- eviction/quarantine visibility (warnings + lifetime totals) --------------
+
+
+def test_eviction_warns_with_counts_and_accumulates_totals(tmp_path):
+    store = ShardedStore(tmp_path, max_entries=3)
+    _fill(store, 5)
+    assert store.evictions_total == 0
+    with pytest.warns(RuntimeWarning,
+                      match=r"evicted 2 result-cache entries .* \(2 total"):
+        assert store.evict() == 2
+    assert store.evictions_total == 2
+    # A second round keeps counting from where the first left off.
+    _fill(store, 5)
+    with pytest.warns(RuntimeWarning, match=r"\(4 total this process\)"):
+        store.evict()
+    assert store.evictions_total == 4
+    # The non-total ledger counter resets on save; the total does not.
+    store.save_ledger()
+    assert store.evictions_total == 4
+
+
+def test_noop_eviction_does_not_warn(tmp_path):
+    store = ShardedStore(tmp_path, max_entries=100)
+    _fill(store, 3)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert store.evict() == 0
+    assert store.evictions_total == 0
+
+
+def test_quarantine_total_counts_lifetime(tmp_path):
+    store = ShardedStore(tmp_path)
+    digests = _fill(store, 2)
+    for digest in digests:
+        with open(store.entry_path(SIM_VERSION, digest), "w") as fh:
+            fh.write("{corrupt")
+    with pytest.warns(RuntimeWarning, match=r"\(1 total this process\)"):
+        assert store.read(SIM_VERSION, digests[0]) is None
+    with pytest.warns(RuntimeWarning, match=r"\(2 total this process\)"):
+        assert store.read(SIM_VERSION, digests[1]) is None
+    assert store.quarantined_total == 2
+
+
+def test_result_cache_stats_snapshot(tmp_path):
+    from repro.exec import CacheStats
+
+    cache = ResultCache(tmp_path, max_entries=2)
+    payloads = [RunRequest("epyc-1p", "bcast", 64 + i, 8).payload()
+                for i in range(4)]
+    assert cache.get(payloads[0]) is None          # miss
+    for p in payloads:
+        cache.put(p, 1e-6)
+    assert cache.get(payloads[3]) == pytest.approx(1e-6)   # hit
+    with pytest.warns(RuntimeWarning):
+        cache.save()                                # evicts down to 2
+    stats = cache.stats()
+    assert isinstance(stats, CacheStats)
+    assert stats.hits == 1
+    assert stats.misses == 1
+    assert stats.evictions == 2
+    assert stats.quarantined == 0
+    assert stats.hit_rate == pytest.approx(0.5)
+    d = stats.as_dict()
+    assert d["hits"] == 1 and d["hit_rate"] == pytest.approx(0.5)
+
+
+def test_memory_only_cache_stats_are_zeroed():
+    from repro.exec import CacheStats
+
+    cache = ResultCache()
+    stats = cache.stats()
+    assert stats == CacheStats(hits=0, misses=0, entries=0,
+                               evictions=0, quarantined=0)
+    assert stats.hit_rate == 0.0

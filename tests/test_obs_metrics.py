@@ -6,7 +6,8 @@ from repro.mpi import World
 from repro.node import Node
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                                NULL_METRIC, NULL_METRICS,
-                               NullMetricsRegistry)
+                               NullMetricsRegistry, prometheus_name,
+                               validate_prometheus)
 from repro.sim.trace import bytes_by_distance
 from repro.xhc import Xhc
 
@@ -95,6 +96,119 @@ def test_null_registry_is_inert():
     assert list(reg) == []
     assert "disabled" in reg.render()
     assert NULL_METRICS.counter("x") is NULL_METRIC
+
+
+# -- streaming quantiles ------------------------------------------------------
+
+
+def test_quantile_empty_and_bounds():
+    h = Histogram("h")
+    assert h.quantile(0.5) is None
+    assert h.percentiles() == {"p50": None, "p95": None, "p99": None}
+    h.observe(4.0)
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+    with pytest.raises(ValueError):
+        h.quantile(-0.1)
+
+
+def test_quantile_single_observation_is_exact():
+    h = Histogram("h")
+    h.observe(7.0)
+    # Clamping to [min, max] makes every quantile the one observed value.
+    for q in (0.0, 0.5, 0.99, 1.0):
+        assert h.quantile(q) == 7.0
+
+
+def test_quantile_bounds_estimates_within_one_bucket():
+    import math
+
+    h = Histogram("h", scale=1.0)
+    values = [float(v) for v in range(1, 101)]   # 1..100
+    for v in values:
+        h.observe(v)
+    for q in (0.5, 0.95, 0.99):
+        exact = values[math.ceil(q * len(values)) - 1]
+        est = h.quantile(q)
+        # The estimate interpolates inside the power-of-two bucket that
+        # holds the exact rank, so it is within a factor of two of the
+        # exact answer and clamped to the observed range.
+        assert h.min <= est <= h.max
+        assert exact / 2 <= est <= exact * 2
+
+
+def test_quantiles_are_monotone_in_q():
+    h = Histogram("h", scale=1e-6)
+    for v in (3e-6, 5e-5, 1e-4, 2e-3, 0.5, 0.5, 0.02):
+        h.observe(v)
+    qs = [0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99]
+    estimates = [h.quantile(q) for q in qs]
+    assert estimates == sorted(estimates)
+    pcts = h.percentiles()
+    assert set(pcts) == {"p50", "p95", "p99"}
+    assert pcts["p50"] <= pcts["p95"] <= pcts["p99"]
+
+
+def test_snapshot_includes_percentiles():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat", scale=1e-6)
+    for v in (1e-5, 2e-5, 4e-3):
+        h.observe(v)
+    entry = reg.snapshot()["lat"]
+    assert entry["count"] == 3
+    for key in ("p50", "p95", "p99"):
+        assert h.min <= entry[key] <= h.max
+
+
+# -- Prometheus exposition ----------------------------------------------------
+
+
+def test_prometheus_name_sanitizes():
+    assert prometheus_name("serve.jobs.completed") == "serve_jobs_completed"
+    assert prometheus_name("a-b c") == "a_b_c"
+    assert prometheus_name("0abc").startswith("_")
+
+
+def test_to_prometheus_round_trips_through_validator():
+    reg = MetricsRegistry()
+    reg.counter("serve.jobs.submitted", "jobs accepted").inc(3)
+    reg.gauge("serve.queue.depth.alice", "pending").set(2.5)
+    h = reg.histogram("serve.job.latency_seconds", "e2e", scale=1e-6)
+    for v in (1e-5, 3e-4, 3e-4, 0.02):
+        h.observe(v)
+    text = reg.to_prometheus()
+    assert validate_prometheus(text) == []
+    assert "# TYPE serve_jobs_submitted counter" in text
+    assert "serve_jobs_submitted 3" in text
+    assert "serve_queue_depth_alice 2.5" in text
+    assert 'serve_job_latency_seconds_bucket{le="+Inf"} 4' in text
+    assert "serve_job_latency_seconds_count 4" in text
+    # prefix filtering
+    only = reg.to_prometheus(prefix="serve.queue")
+    assert "serve_queue_depth_alice" in only
+    assert "serve_jobs_submitted" not in only
+    assert NullMetricsRegistry().to_prometheus() == ""
+
+
+def test_validate_prometheus_flags_problems():
+    assert validate_prometheus("foo 1\n") == []
+    assert validate_prometheus("") == []
+    bad = validate_prometheus("foo bar\n")
+    assert any("non-numeric" in e for e in bad)
+    bad = validate_prometheus("!! 1\n")
+    assert any("unparseable" in e for e in bad)
+    bad = validate_prometheus("# TYPE foo flavor\nfoo 1\n")
+    assert any("unknown TYPE" in e for e in bad)
+    non_cumulative = ('h_bucket{le="1"} 5\n'
+                      'h_bucket{le="2"} 3\n'
+                      'h_bucket{le="+Inf"} 5\n'
+                      "h_count 5\n")
+    bad = validate_prometheus(non_cumulative)
+    assert any("non-cumulative" in e for e in bad)
+    mismatched = ('h_bucket{le="+Inf"} 5\n'
+                  "h_count 4\n")
+    bad = validate_prometheus(mismatched)
+    assert any("_count" in e for e in bad)
 
 
 # -- simulator wiring ---------------------------------------------------------

@@ -1,0 +1,260 @@
+"""Service-layer telemetry (repro.obs.svc): event log, span trees,
+Perfetto export — driven with a fake clock, no daemon involved."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.export import validate_chrome_trace
+from repro.obs.metrics import MetricsRegistry, validate_prometheus
+from repro.obs.svc import EventLog, JobTrace, ServiceTelemetry
+
+
+class FakeJob:
+    def __init__(self, id, tenant, total):
+        self.id = id
+        self.tenant = tenant
+        self.requests = [None] * total
+        self.new = 0
+        self.cached = 0
+        self.errors = 0
+
+    @property
+    def total(self):
+        return len(self.requests)
+
+
+class FakeResult:
+    def __init__(self, cached=False, error=None):
+        self.cached = cached
+        self.error = error
+
+
+class FakeClock:
+    """Deterministic wall clock the tests advance by hand."""
+
+    def __init__(self):
+        self.t = 100.0
+
+    def __call__(self):
+        return self.t
+
+    def tick(self, dt=1.0):
+        self.t += dt
+
+
+def make_telemetry(tmp_path=None, **kw):
+    clock = FakeClock()
+    tel = ServiceTelemetry(MetricsRegistry(), tmp_path, clock=clock, **kw)
+    return tel, clock
+
+
+def run_job(tel, clock, job, chunks=2, cached_per_chunk=0):
+    """Drive one job through the full lifecycle hook sequence."""
+    tel.job_submitted(job)
+    per_chunk = max(1, job.total // chunks)
+    for c in range(chunks):
+        clock.tick(0.5)                      # queue / schedule wait
+        indices = list(range(per_chunk))
+        tel.chunk_started(job, indices)
+        clock.tick(0.1)
+        tel.executor_phase("cache-lookup", 0.01, len(indices))
+        tel.executor_phase("worker-execute", 0.09, len(indices))
+        results = [FakeResult(cached=i < cached_per_chunk)
+                   for i in range(per_chunk)]
+        tel.chunk_finished(job, indices, results, 0.1)
+    clock.tick(0.05)
+    tel.job_finished(job)
+
+
+# -- EventLog -----------------------------------------------------------------
+
+
+def test_event_log_appends_compact_json_lines(tmp_path):
+    log = EventLog(tmp_path / "events.jsonl")
+    log.append({"event": "submit", "job": 1})
+    log.append({"event": "done", "job": 1})
+    lines = (tmp_path / "events.jsonl").read_text().splitlines()
+    assert len(lines) == 2
+    assert json.loads(lines[0]) == {"event": "submit", "job": 1}
+    assert log.written == 2
+    assert log.rotations == 0
+    assert log.records() == [{"event": "submit", "job": 1},
+                             {"event": "done", "job": 1}]
+
+
+def test_event_log_rotates_at_size_and_bounds_segments(tmp_path):
+    path = tmp_path / "events.jsonl"
+    log = EventLog(path, max_bytes=200, keep=2)
+    for i in range(50):
+        log.append({"event": "chunk", "n": i})
+    assert log.rotations > 0
+    segments = log.segments()
+    # live file + at most `keep` closed segments, newest first
+    assert segments[0] == str(path)
+    assert len(segments) <= 3
+    for segment in segments:
+        assert os.path.getsize(segment) <= 200 + 40
+    # Records survive rotation in order (oldest retained first), and the
+    # newest record is always present.
+    ns = [r["n"] for r in log.records()]
+    assert ns == sorted(ns)
+    assert ns[-1] == 49
+
+
+def test_event_log_skips_corrupt_lines_and_none_path(tmp_path):
+    path = tmp_path / "events.jsonl"
+    log = EventLog(path)
+    log.append({"ok": 1})
+    with open(path, "a") as fh:
+        fh.write("{torn json\n")
+        fh.write("[1, 2]\n")
+    log.append({"ok": 2})
+    assert log.records() == [{"ok": 1}, {"ok": 2}]
+
+    disabled = EventLog(None)
+    disabled.append({"never": "written"})
+    assert disabled.segments() == []
+    assert disabled.records() == []
+    assert disabled.written == 0
+
+
+# -- lifecycle span trees -----------------------------------------------------
+
+
+def test_job_lifecycle_builds_expected_span_tree(tmp_path):
+    tel, clock = make_telemetry(tmp_path)
+    job = FakeJob(1, "alice", 4)
+    run_job(tel, clock, job, chunks=2)
+
+    trace = tel.get_trace(1)
+    assert trace.finished
+    assert trace.wall_s == pytest.approx(1.25)
+    names = [s.name for s in trace.spans]
+    # Tree contents: root job, queue-wait, 2 chunks, each with lookup +
+    # execute children, and a publish tail.
+    assert names.count("job") == 1
+    assert names.count("queue-wait") == 1
+    assert names.count("chunk") == 2
+    assert names.count("cache-lookup") == 2
+    assert names.count("worker-execute") == 2
+    assert names.count("publish") == 1
+    by_name = {}
+    for span in trace.spans:
+        by_name.setdefault(span.name, []).append(span)
+    root = by_name["job"][0]
+    assert root.parent is None
+    assert by_name["queue-wait"][0].parent == root.id
+    for chunk in by_name["chunk"]:
+        assert chunk.parent == root.id
+    chunk_ids = {c.id for c in by_name["chunk"]}
+    for name in ("cache-lookup", "worker-execute"):
+        for span in by_name[name]:
+            assert span.parent in chunk_ids
+    assert by_name["publish"][0].parent == root.id
+    # Every span is closed and every track is the job id.
+    for span in trace.spans:
+        assert span.end is not None and span.end >= span.start
+        assert span.track == 1
+
+
+def test_metrics_feed_from_lifecycle(tmp_path):
+    tel, clock = make_telemetry(tmp_path)
+    run_job(tel, clock, FakeJob(1, "alice", 4), chunks=2,
+            cached_per_chunk=1)
+    m = tel.metrics
+    assert m.value("serve.tenant.jobs.alice") == 1
+    assert m.value("serve.tenant.completed.alice") == 1
+    assert m.get("serve.job.latency_seconds").count == 1
+    assert m.get("serve.job.queue_wait_seconds").count == 1
+    assert m.get("serve.chunk.execute_seconds").count == 2
+    assert m.get("serve.exec.cache_lookup_seconds").count == 2
+    assert m.get("serve.exec.worker_execute_seconds").count == 2
+    assert m.value("serve.worker.busy_seconds") == pytest.approx(0.2)
+    assert m.value("serve.inflight.chunks") == 0
+    # The whole registry round-trips through the Prometheus emitter.
+    assert validate_prometheus(m.to_prometheus()) == []
+
+
+def test_event_log_records_lifecycle(tmp_path):
+    tel, clock = make_telemetry(tmp_path)
+    run_job(tel, clock, FakeJob(1, "alice", 4), chunks=2)
+    kinds = [r["event"] for r in tel.events.records()]
+    assert kinds == ["submit", "chunk", "chunk", "done"]
+    done = tel.events.records()[-1]
+    assert done["job"] == 1
+    assert done["tenant"] == "alice"
+    assert done["wall_s"] == pytest.approx(1.25)
+
+
+def test_disabled_telemetry_is_inert(tmp_path):
+    tel, clock = make_telemetry(tmp_path, enabled=False)
+    run_job(tel, clock, FakeJob(1, "alice", 2), chunks=1)
+    assert tel.job_ids() == []
+    assert tel.trace_doc() is None
+    assert tel.metrics.snapshot() == {}
+    assert not os.path.exists(os.path.join(str(tmp_path), "events.jsonl"))
+
+
+def test_trace_retention_evicts_oldest(tmp_path):
+    tel, clock = make_telemetry(tmp_path, max_traces=3)
+    for i in range(1, 6):
+        run_job(tel, clock, FakeJob(i, "t", 2), chunks=1)
+    assert tel.job_ids() == [3, 4, 5]
+    assert tel.get_trace(1) is None
+    assert tel.job_wall(1) is None
+    assert tel.job_wall(5) is not None
+
+
+# -- Perfetto export ----------------------------------------------------------
+
+
+def test_trace_doc_validates_and_maps_tenants_to_pids(tmp_path):
+    tel, clock = make_telemetry(tmp_path)
+    run_job(tel, clock, FakeJob(1, "alice", 4), chunks=2)
+    run_job(tel, clock, FakeJob(2, "bob", 2), chunks=1)
+
+    doc = tel.trace_doc()
+    assert validate_chrome_trace(doc) == []
+    events = doc["traceEvents"]
+    xs = [e for e in events if e["ph"] == "X"]
+    # One tid (= job id) per job; one pid per tenant.
+    assert {e["tid"] for e in xs} == {1, 2}
+    assert len({e["pid"] for e in xs}) == 2
+    names = {e["args"]["name"] for e in events
+             if e["ph"] == "M" and e["name"] == "process_name"}
+    assert names == {"tenant alice", "tenant bob"}
+    other = doc["otherData"]
+    assert other["tool"] == "repro.obs.svc"
+    assert other["jobs"] == 2
+    assert "serve.job.latency_seconds" in other["metrics"]
+
+    single = tel.trace_doc(2)
+    assert validate_chrome_trace(single) == []
+    assert {e["tid"] for e in single["traceEvents"]
+            if e["ph"] == "X"} == {2}
+    assert tel.trace_doc(99) is None
+
+
+def test_trace_doc_closes_open_spans_at_now(tmp_path):
+    tel, clock = make_telemetry(tmp_path)
+    job = FakeJob(1, "alice", 4)
+    tel.job_submitted(job)
+    clock.tick(0.5)
+    tel.chunk_started(job, [0, 1])          # chunk still open
+    clock.tick(0.2)
+    doc = tel.trace_doc()
+    assert validate_chrome_trace(doc) == []
+    xs = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+    # Open spans (job, chunk) are synthetically closed at "now" in the
+    # export only; the live trace still has them on the stack.
+    assert {"job", "queue-wait", "chunk"} <= set(xs)
+    assert xs["chunk"]["dur"] == pytest.approx(0.2e6)
+    assert tel.get_trace(1).stack  # still open in the live structure
+
+
+def test_job_trace_wall_none_until_finished():
+    trace = JobTrace(1, "t", 2, submitted_at=0.0)
+    assert not trace.finished
+    assert trace.wall_s is None

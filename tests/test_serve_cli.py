@@ -133,6 +133,80 @@ def test_tables_miss_exits_one(live, capsys):
     assert "no decision" in err
 
 
+# -- telemetry commands: metrics / trace / top -------------------------------
+
+
+def test_metrics_table_lists_lifecycle_histograms(live, capsys):
+    run_cli(capsys, "serve", *SWEEP, "--socket", live["socket"],
+            "--tenant", "metered")
+    code, out, _err = run_cli(capsys, "serve", "metrics",
+                              "--socket", live["socket"])
+    assert code == 0
+    assert "serve.jobs.submitted" in out
+    assert "serve.job.latency_seconds" in out
+    assert "p50=" in out and "p99=" in out
+    assert "[event log:" in out
+
+
+def test_metrics_prometheus_output_parses(live, capsys):
+    from repro.obs.metrics import validate_prometheus
+
+    run_cli(capsys, "serve", *SWEEP, "--socket", live["socket"])
+    code, out, _err = run_cli(capsys, "serve", "metrics", "--prometheus",
+                              "--socket", live["socket"])
+    assert code == 0
+    assert validate_prometheus(out) == []
+    assert "# TYPE serve_job_latency_seconds histogram" in out
+
+
+def test_metrics_json_dump(live, capsys, tmp_path):
+    out_path = tmp_path / "metrics.json"
+    run_cli(capsys, "serve", *SWEEP, "--socket", live["socket"])
+    code, _out, _err = run_cli(capsys, "serve", "metrics",
+                               "--socket", live["socket"],
+                               "--json", str(out_path))
+    assert code == 0
+    doc = json.loads(out_path.read_text())
+    assert "prometheus" in doc
+    assert doc["metrics"]["serve.jobs.completed"]["value"] >= 1
+
+
+def test_trace_writes_validated_perfetto_file(live, capsys, tmp_path):
+    from repro.obs.export import validate_chrome_trace
+
+    run_cli(capsys, "serve", *SWEEP, "--socket", live["socket"],
+            "--tenant", "traced")
+    out_path = tmp_path / "trace.json"
+    code, out, _err = run_cli(capsys, "serve", "trace",
+                              "--socket", live["socket"],
+                              "--out", str(out_path))
+    assert code == 0
+    assert "perfetto" in out.lower()
+    doc = json.loads(out_path.read_text())
+    assert validate_chrome_trace(doc) == []
+    assert doc["otherData"]["tool"] == "repro.obs.svc"
+
+
+def test_trace_unknown_job_exits_one(live, capsys, tmp_path):
+    code, _out, err = run_cli(capsys, "serve", "trace", "--job", "424242",
+                              "--socket", live["socket"],
+                              "--out", str(tmp_path / "t.json"))
+    assert code == 1
+    assert "no trace for job" in err
+
+
+def test_top_once_renders_fleet_frame(live, capsys):
+    run_cli(capsys, "serve", *SWEEP, "--socket", live["socket"],
+            "--tenant", "watcher")
+    code, out, _err = run_cli(capsys, "serve", "top", "--once",
+                              "--socket", live["socket"])
+    assert code == 0
+    assert "serve top @" in out
+    assert "jobs:" in out and "cache:" in out
+    assert "job latency:" in out and "p95=" in out
+    assert "watcher" in out            # tenant table row
+
+
 # -- unreachable: the exit-2 contract ----------------------------------------
 
 
@@ -144,6 +218,9 @@ def _dead_socket():
 @pytest.mark.parametrize("argv", [
     ("status",),
     ("stop",),
+    ("metrics",),
+    ("trace",),
+    ("top", "--once"),
     ("tables", "--system", "epyc-1p"),
     ("submit", "bcast", "--system", "epyc-1p", "--nranks", "8",
      "--components", "xhc-tree", "--sizes", "64"),

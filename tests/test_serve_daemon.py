@@ -240,6 +240,12 @@ def test_status_reports_queue_store_and_metrics(served):
     assert status["executor"]["simulations"] == 2
     assert status["metrics"]["serve.jobs.completed"]["value"] == 1
     assert status["queue"]["pending_requests"] == 0
+    # Telemetry-era additions (protocol still v1; old keys untouched).
+    assert status["queue"]["inflight_chunks"] == 0
+    assert status["queue"]["tenant_totals"]["default"] \
+        == {"submitted": 1, "completed": 1}
+    assert status["cache"]["misses"] == 2
+    assert status["cache"]["evictions"] == 0
 
 
 # -- served tables -----------------------------------------------------------
