@@ -13,8 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-import numpy as np
-
 from ..mpi import FLOAT, SUM, World
 from ..node import Node
 from ..options import RunOptions
@@ -40,6 +38,41 @@ class OsuSeries:
 
     def us(self, size: int) -> float:
         return self.latency[size] * 1e6
+
+
+def _pairwise_sum(x, lo: int, n: int) -> float:
+    """numpy's pairwise summation, element-for-element.
+
+    The golden latency fixtures were recorded when this module averaged
+    samples with ``np.mean``; numpy is now an optional extra, so the
+    mean is computed here — in the exact floating-point operation order
+    numpy uses (naive below 8, eight-way unrolled up to a 128 block,
+    recursive halving above) — to keep every recorded fixture bit-true.
+    math.fsum would be off by an ulp on some cells.
+    """
+    if n < 8:
+        res = 0.0
+        for i in range(n):
+            res += x[lo + i]
+        return res
+    if n <= 128:
+        r = x[lo:lo + 8]
+        i = 8
+        while i + 8 <= n:
+            for j in range(8):
+                r[j] += x[lo + i + j]
+            i += 8
+        res = ((r[0] + r[1]) + (r[2] + r[3])) + ((r[4] + r[5]) + (r[6] + r[7]))
+        while i < n:
+            res += x[lo + i]
+            i += 1
+        return res
+    n2 = (n // 2) - ((n // 2) % 8)
+    return _pairwise_sum(x, lo, n2) + _pairwise_sum(x, lo + n2, n - n2)
+
+
+def _mean(samples: "list[float]") -> float:
+    return _pairwise_sum(samples, 0, len(samples)) / len(samples)
 
 
 def _modify(scratch, view):
@@ -143,7 +176,7 @@ def run_collective(
             raise ValueError(f"unknown collective kind {kind!r}")
 
     comm.run(program)
-    return float(np.mean(samples))
+    return _mean(samples)
 
 
 def _component_spec(component) -> "tuple[str, dict | None] | None":
@@ -247,4 +280,4 @@ def osu_latency(
                 yield from comm.send(ctx, buf.whole(), 0)
 
     comm.run(program)
-    return float(np.mean(samples))
+    return _mean(samples)

@@ -210,9 +210,11 @@ def cmd_perf(args) -> int:
         return 0
 
     results = harness.run_perf(quick=args.quick,
-                               macro_repeats=args.repeats)
+                               macro_repeats=args.repeats,
+                               engine=args.engine)
     engine, pricing, macro = (results["engine"], results["pricing"],
                               results["macro"])
+    macros, parity = results["macros"], results["parity"]
     print(f"engine micro   {engine['events']:8d} events in "
           f"{engine['cpu_s']:.3f}s cpu -> "
           f"{engine['events_per_sec']:,.0f} events/s")
@@ -220,12 +222,23 @@ def cmd_perf(args) -> int:
           f"cold {pricing['cold_calls_per_sec']:,.0f}/s "
           f"(memo speedup {pricing['memo_speedup']:.1f}x)")
     label = "quick" if macro["quick"] else "full"
-    print(f"macro ({label})  wall {macro['wall_s']:.3f}s  "
-          f"cpu {macro['cpu_s']:.3f}s over {len(macro['points'])} points")
-    for pt in macro["points"]:
-        print(f"  {pt['kind']:<10}{pt['size']:>9d}B  "
-              f"{pt['latency_us']:10.2f} us sim  "
-              f"{pt['wall_s']:7.3f} s wall")
+    for name, m in macros.items():
+        print(f"macro ({label}, {name})  wall {m['wall_s']:.3f}s  "
+              f"cpu {m['cpu_s']:.3f}s over {len(m['points'])} points")
+        for pt in m["points"]:
+            print(f"  {pt['kind']:<10}{pt['size']:>9d}B  "
+                  f"{pt['latency_us']:10.2f} us sim  "
+                  f"{pt['wall_s']:7.3f} s wall")
+    if parity:
+        print("engine parity (array vs event; sim delta is the "
+              "documented batched-pricing deviation)")
+        for row in parity:
+            print(f"  {row['kind']:<10}{row['size']:>9d}B  "
+                  f"sim {row['latency_rel_delta']:+7.2%}  "
+                  f"wall speedup {row['wall_speedup']:6.2f}x")
+        print(f"array macro speedup: "
+              f"{macros['event']['wall_s'] / macros['array']['wall_s']:.2f}x"
+              f" wall")
     if args.baseline is not None:
         speedup = args.baseline / macro["wall_s"] if macro["wall_s"] \
             else 0.0
@@ -244,12 +257,26 @@ def cmd_perf(args) -> int:
             print(f"[ok] engine microbench clears the "
                   f"{floor:,.0f} events/s floor "
                   f"({engine['events_per_sec'] / floor:.1f}x headroom)")
+    if args.ci and parity:
+        bad = [row for row in parity
+               if abs(row["latency_rel_delta"]) > harness.PARITY_REL_TOL]
+        if bad:
+            for row in bad:
+                print(f"[FAIL] parity gate: {row['kind']}/{row['size']}B "
+                      f"array deviates {row['latency_rel_delta']:+.2%} "
+                      f"from event (gate {harness.PARITY_REL_TOL:.0%})")
+            status = 1
+        else:
+            print(f"[ok] engine parity within "
+                  f"{harness.PARITY_REL_TOL:.0%} on all "
+                  f"{len(parity)} macro points")
 
     payload = harness.emit_record(
         engine, pricing, macro,
         baseline_wall_s=args.baseline,
         baseline_cpu_s=args.baseline_cpu,
-        note=args.note or "")
+        note=args.note or "",
+        macros=macros, parity=parity)
     if args.json:
         write_json(args.json, payload)
         print(f"[wrote perf report to {args.json}]")
@@ -933,6 +960,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "CI smoke")
     p.add_argument("--repeats", type=int, default=1,
                    help="macro sweep repetitions (min is reported)")
+    p.add_argument("--engine", choices=("event", "array", "both"),
+                   default="event",
+                   help="macro engine(s); 'both' adds per-point parity "
+                        "and speedup rows (with --ci, a parity gate)")
     p.add_argument("--profile", action="store_true",
                    help="cProfile the macro workload and print the hot "
                         "list instead of timing")

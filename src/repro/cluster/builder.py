@@ -94,11 +94,13 @@ def build_cluster_model(topo: Topology,
     )
 
 
-def build_cluster(params: ClusterParams | None = None, **kw):
+def build_cluster(params: ClusterParams | None = None, *,
+                  options=None, **kw):
     """Build (Node, Topology, MachineModel) for a simulated cluster.
 
     ``kw`` overrides :class:`ClusterParams` fields, e.g.
-    ``build_cluster(n_nodes=8)``.
+    ``build_cluster(n_nodes=8)``. ``options`` is forwarded to the
+    :class:`~repro.node.Node` (e.g. ``RunOptions(engine="array")``).
     """
     if params is None:
         params = ClusterParams(**kw)
@@ -106,4 +108,4 @@ def build_cluster(params: ClusterParams | None = None, **kw):
         raise TopologyError("pass either params or keyword overrides")
     topo = build_cluster_topology(params)
     model = build_cluster_model(topo, params)
-    return Node(topo, model), topo, model
+    return Node(topo, model, options=options), topo, model

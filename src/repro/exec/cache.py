@@ -39,7 +39,13 @@ from .store import ShardedStore
 # sim-semantics sources and fails when they change without a bump here.
 # After bumping, run `python -m repro check --update-fingerprint`.
 # 2: scatter gathers all ranks' acks at the root (release-protocol fix).
-SIM_VERSION = 2
+# 3: the array engine (RunOptions.engine="array") joins the result cache:
+#    its latencies differ from the event engine by the documented
+#    approximations (docs/performance.md), so the engine name entered
+#    RunRequest.payload() and cached entries must not survive the key
+#    change. Event-engine semantics are unchanged — the latency goldens
+#    were re-recorded verbatim under the new version.
+SIM_VERSION = 3
 
 #: Where the shared store lives unless a caller says otherwise. This is
 #: the store *root* directory; entries live in sharded per-entry files

@@ -35,7 +35,8 @@ class RunRequest:
     configurations — autotuning candidates, Fig. 10's flag layouts.
     ``mapping`` is a rank-placement policy name or an explicit core tuple
     (required for ``"pingpong"``, which runs between exactly two pinned
-    cores). ``options`` never affects the measured latency; requests with
+    cores). Of ``options``, only ``engine`` affects the measured latency
+    (and is therefore part of the cache key); requests with
     instrumentation (observe/check) bypass the result cache because their
     product is the side artifacts, not the number.
     """
@@ -80,9 +81,14 @@ class RunRequest:
 
         Only latency-determining fields appear; :class:`RunOptions` is
         deliberately absent because observation, checking and data
-        movement never change simulated time.
+        movement never change simulated time — with one exception:
+        ``options.engine`` *does* (the array engine prices under the
+        documented SIM_VERSION 3 approximations, docs/performance.md),
+        so the engine name is lifted into the payload and two engines
+        never share a cache entry.
         """
         return {
+            "engine": self.options.engine,
             "system": self.system,
             "collective": self.collective,
             "size": self.size,
@@ -110,12 +116,15 @@ class RunRequest:
         :meth:`payload`, and what the serve daemon applies to request
         dicts arriving over the wire. Unknown fields raise ``ValueError``
         (a client protocol error, not a crash)."""
+        kwargs = dict(data)
+        # "engine" is payload()'s flattened form of options.engine (the
+        # one option in the cache key); fold it back into RunOptions.
+        engine = kwargs.pop("engine", None)
         known = {f.name for f in dataclasses.fields(cls)}
-        unknown = set(data) - known
+        unknown = set(kwargs) - known
         if unknown:
             raise ValueError(
                 f"unknown request field(s): {', '.join(sorted(unknown))}")
-        kwargs = dict(data)
         smsc = kwargs.get("smsc")
         if isinstance(smsc, dict):
             from ..shmem.smsc import SmscConfig as _Smsc
@@ -123,6 +132,11 @@ class RunRequest:
         options = kwargs.get("options")
         if isinstance(options, dict):
             kwargs["options"] = RunOptions(**options)
+        if engine is not None:
+            base = kwargs.get("options")
+            if base is None:
+                base = RunOptions(data_movement=False)
+            kwargs["options"] = base.with_(engine=engine)
         mapping = kwargs.get("mapping")
         if isinstance(mapping, list):
             kwargs["mapping"] = tuple(mapping)

@@ -12,11 +12,13 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
-import numpy as np
-
+from ..compat import require_numpy
 from ..errors import MemoryModelError
+
+if TYPE_CHECKING:
+    import numpy as np
 
 
 class Buffer:
@@ -127,7 +129,11 @@ class AddressSpace:
     def alloc(self, name: str, size: int, *, shared: bool = False,
               home_numa: int | None = None) -> Buffer:
         """Allocate ``size`` bytes; first-touch places it on our NUMA node."""
-        data = np.zeros(size, dtype=np.uint8) if self.data_movement else None
+        if self.data_movement:
+            np = require_numpy("data_movement=True (value-backed buffers)")
+            data = np.zeros(size, dtype=np.uint8)
+        else:
+            data = None
         buf = Buffer(
             name=f"r{self.rank}:{name}",
             size=size,

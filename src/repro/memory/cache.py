@@ -209,16 +209,18 @@ class CacheSystem:
         (:meth:`~repro.node.Node._cache_source_span`) consumes: which
         caches can serve the span, how much of it each covers, and the
         deterministic tie-break order. Distances, routes and capacities
-        are static per cache level, so two calls with equal keys and equal
-        span signatures price identically — which is what lets
-        :class:`~repro.node.Node` memoize pricing by ``(span, signature)``.
+        are static per cache level, so two calls with equal keys and
+        equal span signatures price identically.
 
         Deliberately span-relative rather than a hash of raw high-water
         marks: benchmark iterations leave trails of slightly different
-        high waters that all cover a chunk identically, and those must
-        collapse onto one memo entry for steady-state runs to hit. (A
-        monotonic state counter would never hit at all — cache states
-        *recur* across iterations, they don't progress.)
+        high waters that all cover a chunk identically, and those should
+        compare equal. (:class:`~repro.node.Node` memoizes pricing by the
+        even-coarser *selected source* — see
+        :meth:`~repro.node.Node.copy_terms_span` — because directory
+        insertion order still churns this signature across iterations;
+        the signature remains the full pricing-relevant state and is the
+        reference for what the winner key must pin.)
         """
         holders = self._holders.get(buf.id)
         if not holders:

@@ -1,11 +1,18 @@
-"""MPI datatypes (the subset the paper's collectives exercise)."""
+"""MPI datatypes (the subset the paper's collectives exercise).
+
+numpy is a ``[perf]`` extra, so the concrete dtype object is resolved
+lazily: latency-only runs (``data_movement=False`` on the event engine)
+carry ``np_dtype is None`` through the primitives and never import
+numpy; anything that actually touches values gets the real dtype, or a
+clear :class:`~repro.errors.ConfigError` from the buffer allocation that
+needed it first.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-import numpy as np
-
+from ..compat import get_numpy
 from ..errors import MPIError
 
 
@@ -13,7 +20,8 @@ from ..errors import MPIError
 class Datatype:
     name: str
     itemsize: int
-    np_dtype: np.dtype
+    np_name: str
+    _cache: list = field(default_factory=list, repr=False, compare=False)
 
     def count_of(self, nbytes: int) -> int:
         if nbytes % self.itemsize:
@@ -22,8 +30,18 @@ class Datatype:
             )
         return nbytes // self.itemsize
 
+    @property
+    def np_dtype(self):
+        """The numpy dtype, or ``None`` when numpy is not installed
+        (pure-latency runs never dereference it)."""
+        if not self._cache:
+            np = get_numpy()
+            self._cache.append(
+                None if np is None else np.dtype(self.np_name))
+        return self._cache[0]
 
-BYTE = Datatype("MPI_BYTE", 1, np.dtype(np.uint8))
-INT = Datatype("MPI_INT", 4, np.dtype(np.int32))
-FLOAT = Datatype("MPI_FLOAT", 4, np.dtype(np.float32))
-DOUBLE = Datatype("MPI_DOUBLE", 8, np.dtype(np.float64))
+
+BYTE = Datatype("MPI_BYTE", 1, "uint8")
+INT = Datatype("MPI_INT", 4, "int32")
+FLOAT = Datatype("MPI_FLOAT", 4, "float32")
+DOUBLE = Datatype("MPI_DOUBLE", 8, "float64")

@@ -23,11 +23,10 @@ by tests/test_golden_latency.py).
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable, Optional
 
-import numpy as np
-
-from .errors import SimulationError
+from .errors import ConfigError, SimulationError
 from .memory.address_space import AddressSpace, Buffer, BufView
 from .memory.cache import CacheKind, CacheLevel, CacheSystem
 from .memory.model import MachineModel, PAGE_SIZE, model_for
@@ -55,8 +54,11 @@ class Node:
     # plan_* call recomputes from scratch). The equivalence tests flip it
     # to prove memoized and cold prices are bit-identical.
     _pricing_memo_enabled = True
-    # Deterministic overflow policy: a full memo is cleared outright.
-    # Clearing only costs recomputation — prices never depend on the memo.
+    # Deterministic overflow policy: a full memo evicts its oldest entry
+    # (insertion-order LRU via dict ordering). Eviction only costs
+    # recomputation — prices never depend on the memo — but popping one
+    # entry instead of clearing keeps long sweeps from periodically
+    # cold-restarting the whole memo.
     _MEMO_CAP = 32768
 
     def __init__(
@@ -79,8 +81,21 @@ class Node:
         self.resources = ResourcePool(topo, self.model)
         self.options = options
         self.data_movement = options.data_movement
-        self.engine = Engine(self, record_copies=options.record_copies,
-                             observe=options.observe, check=options.check)
+        if options.engine == "array":
+            if options.instrumented:
+                raise ConfigError(
+                    'engine="array" is incompatible with observe/check/'
+                    'record_copies: instrumentation hooks are per-event, '
+                    'which is exactly what array mode elides — run the '
+                    'event engine for instrumented runs (docs/performance.md)'
+                )
+            from .compat import require_numpy
+            require_numpy('RunOptions(engine="array")')
+            from .sim.array_engine import ArrayEngine
+            self.engine: Engine = ArrayEngine(self)
+        else:
+            self.engine = Engine(self, record_copies=options.record_copies,
+                                 observe=options.observe, check=options.check)
         # Core-pair distance cache. Distance is a pure function of the
         # topology, so the cache lives *on the topology object* and is
         # shared by every Node built over it (the exec worker pool keeps
@@ -128,6 +143,14 @@ class Node:
         # line. This is what makes wide flag fan-ins serialize (Fig. 10's
         # "separated" layout, the ARM-N1 flat-tree collapse).
         self._line_port: dict[int, float] = {}
+        # Array-mode port accounting: processes are priced at skewed
+        # virtual times, so the scalar horizon above would make a lagging
+        # fetch queue behind bookings an ahead-running process stamped in
+        # its future. arr_line_read instead books (end, start) occupancy
+        # intervals per home core and a fetch chains only through
+        # bookings that actually overlap it (expiry bounded by the
+        # dispatch epoch, like Resource.arr_ivals).
+        self._arr_port: dict[int, list] = {}
 
     @property
     def obs(self):
@@ -353,7 +376,7 @@ class Node:
         else:
             res = _NO_RESOURCES
         if len(self._write_res_memo) >= self._MEMO_CAP:
-            self._write_res_memo.clear()
+            del self._write_res_memo[next(iter(self._write_res_memo))]
         self._write_res_memo[key] = res
         return res
 
@@ -384,25 +407,51 @@ class Node:
         primitives.Copy` has always priced the source view's full length
         while recording ``min(src, dst)``.
 
+        The static terms come from :meth:`copy_terms_span` (memoized);
+        only the bandwidth-share evaluation happens here. Returns the
+        cached resource list by reference — callers must not mutate it.
+        """
+        entry = self.copy_terms_span(core, src_buf, src_off, src_len,
+                                     dst_buf, dst_off, nbytes, bw_factor)
+        if entry is None:
+            return 0.0, _NO_RESOURCES, None
+        terms, resources, complete = entry
+        return self._eval_read(terms), resources, complete
+
+    def copy_terms_span(  # hot-path
+        self, core: int, src_buf: Buffer, src_off: int, src_len: int,
+        dst_buf: Buffer, dst_off: int, nbytes: int, bw_factor: float,
+    ) -> Optional[tuple[tuple, list[Resource],
+                        Optional[Callable[[], None]]]]:
+        """Static copy-pricing entry: ``(terms, resources, complete)``
+        without the dynamic bandwidth-share evaluation, or ``None`` for a
+        zero-byte copy. This is the array engine's accumulation hook —
+        it collects term rows here and prices whole runs in one
+        vectorized sweep (:mod:`repro.sim.array_engine`).
+
         Memoized: the static terms are keyed by the span arguments *plus*
-        the span's cache-state signature
-        (:meth:`CacheSystem.span_signature`). The signature is part of the
-        key (not a guard on a single entry) because one span is priced
-        under a handful of recurring states per benchmark iteration —
-        keying by state keeps them all resident. Returns the cached
-        resource list by reference — callers must not mutate it.
+        the span's selected source — the ``(level, hit_bytes)`` winner of
+        :meth:`_cache_source_span`. Every other input to the terms is
+        static geometry, so the winner pins the price exactly; and unlike
+        the full holder signature (which drags directory insertion order
+        and eviction trails into the key), the winner *recurs* across
+        benchmark iterations, which is what keeps steady-state runs
+        hitting. The winner is part of the key (not a guard on a single
+        entry) because one span is priced under a handful of recurring
+        states per iteration — keying by state keeps them all resident.
         """
         if nbytes <= 0:
-            return 0.0, _NO_RESOURCES, None
+            return None
         if self._pricing_memo_enabled:
             memo = self._copy_memo
+            level, hit = self._cache_source_span(core, src_buf, src_off,
+                                                 src_len)
             key = (core, src_buf.id, src_off, src_len,
                    dst_buf.id, dst_off, nbytes, bw_factor,
-                   self.caches.span_signature(src_buf, src_off, src_len))
+                   level.id if level is not None else -1, hit)
             entry = memo.get(key)
             if entry is not None:
-                terms, resources, complete = entry
-                return self._eval_read(terms), resources, complete
+                return entry
         terms = self._read_terms(core, src_buf, src_off, src_len, bw_factor)
         resources = terms[8]
         for res in self._write_resources_for(core, dst_buf):
@@ -422,46 +471,61 @@ class Node:
                 dst_buf.data[dst_off:dst_end] = \
                     src_buf.data[src_off:src_end]
 
+        entry = (terms, resources, complete)
         if self._pricing_memo_enabled:
             if len(memo) >= self._MEMO_CAP:
-                memo.clear()
-            memo[key] = (terms, resources, complete)
-        return self._eval_read(terms), resources, complete
+                del memo[next(iter(memo))]
+            memo[key] = entry
+        return entry
 
     def plan_reduce(  # hot-path
         self, core: int, prim: P.Reduce, now: float
     ) -> tuple[float, list[Resource], Optional[Callable[[], None]]]:
+        entry = self.reduce_terms(core, prim)
+        if entry is None:
+            return 0.0, _NO_RESOURCES, None
+        term_list, reduce_term, resources, complete = entry
+        duration = 0.0
+        for terms in term_list:
+            duration += self._eval_read(terms)
+        duration += reduce_term
+        return duration, resources, complete
+
+    def reduce_terms(  # hot-path
+        self, core: int, prim: P.Reduce
+    ) -> Optional[tuple[list, float, list[Resource],
+                        Optional[Callable[[], None]]]]:
+        """Static reduce-pricing entry:
+        ``(term_list, reduce_term, resources, complete)`` without the
+        dynamic bandwidth-share evaluation (``None`` for an empty
+        reduce); the array engine's accumulation hook, memoized like
+        :meth:`copy_terms_span`."""
         nbytes = prim.dst.length
         if nbytes <= 0 or not prim.srcs:
-            return 0.0, _NO_RESOURCES, None
+            return None
         srcs = prim.srcs
         dst = prim.dst
         if self._pricing_memo_enabled:
             memo = self._reduce_memo
-            caches = self.caches
-            key = (core,
-                   tuple((s.buf.id, s.offset, s.length,
-                          caches.span_signature(s.buf, s.offset, s.length))
-                         for s in srcs),
+            csrc = self._cache_source_span
+            parts = []  # lint: disable=RC106 - the memo key being built
+            for s in srcs:
+                level, hit = csrc(core, s.buf, s.offset, s.length)
+                parts.append((s.buf.id, s.offset, s.length,
+                              level.id if level is not None else -1, hit))
+            key = (core, tuple(parts),
                    dst.buf.id, dst.offset, nbytes,
                    prim.op, prim.dtype, prim.accumulate)
             entry = memo.get(key)
             if entry is not None:
-                term_list, reduce_term, resources, complete = entry
-                duration = 0.0
-                for terms in term_list:
-                    duration += self._eval_read(terms)
-                duration += reduce_term
-                return duration, resources, complete
+                return entry
         # Memo-miss path: rebuilt terms are cached below.
         term_list = []  # lint: disable=RC106
         resources: list[Resource] = []  # lint: disable=RC106
-        duration = 0.0
         for src in srcs:
             terms = self._read_terms(core, src.buf, src.offset, src.length,
                                      1.0)
             term_list.append(terms)
-            duration += self._eval_read(terms)
             for r in terms[8]:
                 if r not in resources:
                     resources.append(r)
@@ -469,7 +533,6 @@ class Node:
         # the arithmetic on real hardware, so this term is charged once,
         # not per source.
         reduce_term = nbytes / self.model.reduce_bw
-        duration += reduce_term
         for res in self._write_resources_for(core, dst.buf):
             if res not in resources:
                 resources.append(res)
@@ -484,14 +547,56 @@ class Node:
             if data_movement and dst.buf.data is not None:
                 Node._apply_reduce(prim)
 
+        entry = (term_list, reduce_term, resources, complete)
         if self._pricing_memo_enabled:
             if len(memo) >= self._MEMO_CAP:
-                memo.clear()
-            memo[key] = (term_list, reduce_term, resources, complete)
-        return duration, resources, complete
+                del memo[next(iter(memo))]
+            memo[key] = entry
+        return entry
+
+    def commit_copy_span(self, core: int, src: "BufView", dst: "BufView",
+                         off: int, nbytes: int) -> None:
+        """The post-pricing effects of copying the ``[off, off+nbytes)``
+        slice of full-payload views — exactly what the ``complete``
+        closure of :meth:`copy_terms_span` does (cache-ledger records and
+        optional data movement), without building pricing terms. The
+        array engine's bulk-commit hook: a :class:`~repro.sim.primitives.
+        ChunkRun` sweep prices one chunk shape and commits the whole
+        licensed span through here."""
+        if nbytes <= 0:
+            return
+        src_buf, dst_buf = src.buf, dst.buf
+        src_end = src.offset + off + nbytes
+        dst_end = dst.offset + off + nbytes
+        self.caches.record_read(core, src_buf, src_end)
+        self.caches.record_write(core, dst_buf, dst_end)
+        if self.data_movement and src_buf.data is not None \
+                and dst_buf.data is not None:
+            dst_buf.data[dst_end - nbytes:dst_end] = \
+                src_buf.data[src_end - nbytes:src_end]
+
+    def commit_reduce_span(self, core: int, srcs, dst: "BufView",
+                           off: int, nbytes: int, op=None,
+                           dtype=None) -> None:
+        """:meth:`commit_copy_span` for a direct reduction: the
+        ``complete`` effects of :meth:`reduce_terms` over the
+        ``[off, off+nbytes)`` slice of full-payload operand views."""
+        if nbytes <= 0:
+            return
+        caches = self.caches
+        end = off + nbytes
+        for s in srcs:
+            caches.record_read(core, s.buf, s.offset + end)
+        caches.record_write(core, dst.buf, dst.offset + end)
+        if self.data_movement and dst.buf.data is not None:
+            Node._apply_reduce(P.Reduce(
+                srcs=tuple(s.sub(off, nbytes) for s in srcs),
+                dst=dst.sub(off, nbytes), op=op, dtype=dtype))
 
     @staticmethod
     def _apply_reduce(prim: P.Reduce) -> None:
+        from .compat import require_numpy
+        np = require_numpy("value-accurate reduction (data_movement)")
         dtype = prim.dtype if prim.dtype is not None else np.float32
         op = prim.op if prim.op is not None else np.add
         dst = prim.dst.as_dtype(dtype)
@@ -530,6 +635,46 @@ class Node:
         if llc_index is not None:
             line.shared_holders.add(llc_index)
         return start + model.lat[dist]
+
+    def arr_line_read(self, core: int, line: Line, t: float,
+                      epoch: float) -> float:
+        """:meth:`line_read` for the array engine, whose processes fetch
+        at skewed virtual times. The hit/shared paths are identical; a
+        fetch that must be served by the home core queues only behind
+        port bookings that *overlap* it in simulated time (booked as
+        ``(end, start)`` intervals, expired by the dispatch ``epoch``) —
+        the scalar ``_line_port`` horizon would let an ahead-running
+        process's future fetches delay a lagging process's past ones."""
+        model = self.model
+        if core in line.holders:
+            return t + model.poll_delay
+        llc_index = self._llc_index[core]
+        if llc_index is not None and llc_index in line.shared_holders:
+            line.holders.add(core)
+            return t + model.lat[Distance.CACHE_LOCAL]
+        owner = line.owner_core
+        ivals = self._arr_port.get(owner)
+        if ivals is None:
+            ivals = self._arr_port[owner] = []
+        while ivals and ivals[0][0] <= epoch:
+            heapq.heappop(ivals)
+        start = t
+        if len(ivals) == 1:
+            e0, s0 = ivals[0]
+            if s0 <= start < e0:
+                start = e0
+        elif ivals:
+            # Chain through the bookings in start order: concurrent
+            # fetches homed at one core serialize at line_occupancy
+            # spacing, exactly like the event engine's FIFO port.
+            for s, e in sorted((s, e) for e, s in ivals):
+                if s <= start < e:
+                    start = e
+        heapq.heappush(ivals, (start + model.line_occupancy, start))
+        line.holders.add(core)
+        if llc_index is not None:
+            line.shared_holders.add(llc_index)
+        return start + model.lat[self.distance(core, owner)]
 
     def atomic_cost(self, core: int, line: Line, now: float) -> tuple[float, float]:
         """(start, duration) of an atomic RMW: queue at the line, then pay

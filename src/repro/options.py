@@ -13,6 +13,11 @@ from __future__ import annotations
 import warnings
 from dataclasses import dataclass, replace
 
+from .errors import ConfigError
+
+#: Engines a Node can run programs on (docs/performance.md).
+ENGINES = ("event", "array")
+
 
 class _Unset:
     """Sentinel distinguishing "not passed" from an explicit None/False."""
@@ -26,8 +31,10 @@ UNSET = _Unset()
 
 @dataclass(frozen=True)
 class RunOptions:
-    """Everything that modulates *how* a simulation runs, none of which
-    changes the simulated latencies.
+    """Everything that modulates *how* a simulation runs.
+
+    With one deliberate exception — ``engine`` — none of these change the
+    simulated latencies.
 
     ``data_movement``
         Actually move buffer bytes (numerical correctness checks need it;
@@ -41,12 +48,31 @@ class RunOptions:
     ``check``
         ``None``/``False`` | ``"race"`` | ``"deadlock"`` |
         ``True``/``"full"`` — the dynamic sanitizer (docs/checking.md).
+    ``engine``
+        ``"event"`` (default) — the per-event heap engine, the numeric
+        reference. ``"array"`` — the vectorized array-mode engine
+        (:class:`repro.sim.array_engine.ArrayEngine`): zero-decision
+        pipeline segments are priced as numpy batches with bulk
+        bandwidth-contention sampling. Array-mode latencies differ from
+        the event engine by the documented approximations
+        (docs/performance.md); the engine name is therefore part of the
+        result-cache key (docs/api.md). Requires numpy (the ``[perf]``
+        extra) and is incompatible with ``observe``/``check``/
+        ``record_copies``.
     """
 
     data_movement: bool = True
     record_copies: bool = False
     observe: "bool | str | None" = None
     check: "bool | str | None" = None
+    engine: str = "event"
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ConfigError(
+                f"unknown engine {self.engine!r}; expected one of "
+                f"{'/'.join(ENGINES)}"
+            )
 
     @property
     def instrumented(self) -> bool:

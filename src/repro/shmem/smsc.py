@@ -136,6 +136,74 @@ class SmscEndpoint:
             return (self._lookup_prim, P.Copy(src=src, dst=dst))
         return None
 
+    # -- lowered chunk runs (array engine) -----------------------------------
+
+    def chunk_run_lowerable(self, src: "BufView") -> bool:
+        """True when *every* chunk of a pipelined pull from ``src`` would
+        take the spliceable fast path — own/pre-mapped shared memory, or
+        XPMEM with the registration cache on (one attach up front via
+        :meth:`map_peer`, then per-chunk cache hits). Kernel-assisted
+        mechanisms re-enter the kernel per chunk and stay un-lowered."""
+        if self._mech != "xpmem":
+            return False
+        buf = src.buf
+        return (buf.owner_rank == self.rank or buf.shared
+                or self.config.use_regcache)
+
+    def chunk_run_account(self, src: "BufView", nchunks: int,
+                          nbytes: int) -> float:
+        """Bulk accounting for a lowered ``nchunks``-chunk pull: the
+        metric counts :meth:`copy_from_steps` would have accumulated, one
+        LRU refresh for the whole run, and the per-chunk fixed CPU cost
+        (the registration-cache lookup every chunk of the event flow
+        pays) for the :class:`~repro.sim.primitives.ChunkRun` to charge.
+        Call only after :meth:`map_peer` ensured the attachment."""
+        self._m_copies.inc(nchunks)
+        self._m_bytes.inc(nbytes)
+        buf = src.buf
+        if buf.owner_rank == self.rank or buf.shared:
+            return 0.0
+        if self.config.use_regcache:
+            self.regcache.lookup(buf)
+            return self.node.model.regcache_lookup_cost
+        return 0.0
+
+    def reduce_run_lowerable(self, srcs: Sequence["BufView"],
+                             dst: "BufView") -> bool:
+        """:meth:`chunk_run_lowerable` for a direct-reduction run — every
+        operand (sources and destination) must stay on the fast path."""
+        if self._mech != "xpmem":
+            return False
+        rank = self.rank
+        if self.config.use_regcache:
+            return True
+        for view in srcs:
+            buf = view.buf
+            if not (buf.owner_rank == rank or buf.shared):
+                return False
+        buf = dst.buf
+        return buf.owner_rank == rank or buf.shared
+
+    def reduce_run_account(self, srcs: Sequence["BufView"], dst: "BufView",
+                           nchunks: int) -> float:
+        """Bulk accounting for a lowered reduction run; returns the
+        per-chunk fixed CPU cost (one regcache lookup per foreign
+        operand, exactly what :meth:`reduce_from_steps` charges)."""
+        self._m_reduces.inc(nchunks)
+        lookups = 0
+        rank = self.rank
+        regcache = self.regcache
+        for view in srcs:
+            buf = view.buf
+            if not (buf.owner_rank == rank or buf.shared):
+                regcache.lookup(buf)
+                lookups += 1
+        buf = dst.buf
+        if not (buf.owner_rank == rank or buf.shared):
+            regcache.lookup(buf)
+            lookups += 1
+        return lookups * self.node.model.regcache_lookup_cost
+
     def reduce_from_steps(self, srcs: Sequence["BufView"], dst: "BufView",
                           op: Callable[..., Any] | None = None,
                           dtype: Any = None,

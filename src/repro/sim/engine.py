@@ -60,7 +60,8 @@ class SimProcess:
 
     __slots__ = ("pid", "name", "core", "gen", "state", "result",
                  "finish_time", "blocked_obj", "blocked_value", "waking",
-                 "blocked_since", "wait_time", "wait_breakdown")
+                 "blocked_since", "wait_time", "wait_breakdown", "vt",
+                 "seg")
 
     def __init__(self, name: str, core: int,
                  gen: Generator[Any, Any, Any]) -> None:
@@ -69,6 +70,12 @@ class SimProcess:
         self.core = core
         self.gen = gen
         self.state = ProcState.READY
+        # Local virtual time, used only by the array engine (the event
+        # engine keeps one global clock; see repro.sim.array_engine).
+        self.vt = 0.0
+        # In-progress lowered chunk pipeline (array engine only): the
+        # ``(ChunkRun, chunks_done)`` pair to resume after a mid-run park.
+        self.seg: Any = None
         self.result: Any = None
         self.finish_time: float | None = None
         # The Flag/Atomic this process is blocked on (deadlock analysis
@@ -133,6 +140,18 @@ class Engine:
       closes instead of at queue drain.
     * ``'full'``/``True`` — both.
     """
+
+    #: Which execution model this class implements; the array-mode
+    #: subclass (:class:`repro.sim.array_engine.ArrayEngine`) overrides
+    #: this to ``"array"``. Matches ``RunOptions.engine``.
+    engine_kind = "event"
+
+    #: Whether components may lower zero-decision pipelined loops to
+    #: :class:`~repro.sim.primitives.ChunkRun`. The event engine prices
+    #: per chunk by design, so it refuses the lowered form (an unknown
+    #: primitive raises in the handler table) and components must keep
+    #: yielding the per-chunk stream when this is False.
+    lower_chunk_runs = False
 
     def __init__(self, pricer, record_copies: bool = False,
                  observe: "bool | str | Observer | None" = None,

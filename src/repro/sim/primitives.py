@@ -59,6 +59,8 @@ class CopyBatch:
     line fetch, so eliding one would change the timeline; primitives that
     send a value back (:class:`AtomicRMW`) are excluded for the same
     reason batches exist — there is no generator frame to receive it.
+    For whole pipelined loops (waits included) under the array engine,
+    see :class:`ChunkRun`.
     """
 
     steps: tuple
@@ -122,6 +124,50 @@ class WaitFlag:
     flag: "Flag"
     value: int
     cmp: str = ">="
+
+
+@dataclass(frozen=True, slots=True)
+class ChunkRun:
+    """A zero-decision pipelined chunk loop, lowered to one primitive.
+
+    This is :class:`CopyBatch` taken to its limit: where a batch removes
+    the generator round-trips *within* one chunk, a ChunkRun removes the
+    per-chunk resumes of an entire pipelined segment. The payload range
+    ``[start, stop)`` is processed in ``chunk``-byte pieces; for the
+    chunk ending at payload offset ``e``:
+
+    * every ``(flag, base, lo, hi)`` entry of ``waits`` must first reach
+      ``flag >= base + min(e, hi) - lo`` (entries with
+      ``min(e, hi) <= lo`` do not gate the chunk) — the clamped form
+      expresses a producer responsible for the sub-range ``[lo, hi)``;
+    * the chunk body runs: ``copy = (src, dst)`` copies
+      ``src.sub(o, n) -> dst.sub(o, n)``, or ``reduce = (srcs, dst, op,
+      dtype)`` reduces the same slices, plus ``const_cost`` seconds of
+      fixed CPU work (e.g. registration-cache lookups);
+    * every ``(flags, base)`` entry of ``sets`` publishes
+      ``base + (e - start)`` to each flag.
+
+    Only ``>=`` waits are expressible — that is what makes the segment
+    zero-decision: availability counters only grow, so the whole run's
+    timeline is a prefix-max recurrence over the producers' publication
+    schedules. Components emit a ChunkRun only when the engine
+    advertises ``lower_chunk_runs`` (the array engine, which prices the
+    run as one vectorized sweep); the event engine refuses it rather
+    than approximate the per-chunk event sequence.
+    """
+
+    start: int
+    stop: int
+    chunk: int
+    waits: tuple = ()
+    sets: tuple = ()
+    copy: "tuple | None" = None
+    reduce: "tuple | None" = None
+    const_cost: float = 0.0
+
+    @property
+    def nbytes(self) -> int:
+        return self.stop - self.start
 
 
 @dataclass(frozen=True, slots=True)

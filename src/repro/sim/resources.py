@@ -11,15 +11,27 @@ Fig. 1b and the localized-traffic benefit of hierarchical algorithms.
 
 from __future__ import annotations
 
+import heapq
+
 from ..errors import SimulationError
 from ..topology.objects import ObjKind, Topology
 from ..memory.model import MachineModel
 
 
 class Resource:
-    """A shared bandwidth point."""
+    """A shared bandwidth point.
 
-    __slots__ = ("name", "bw", "active", "peak_active", "bytes_served")
+    The event engine tracks concurrency with the ``acquire``/``release``
+    counter, sampled at every transfer (re-)pricing. The array engine
+    instead *books intervals*: each flushed transfer deposits its
+    ``[start, end)`` occupancy window and contention is sampled in bulk at
+    flush time via :meth:`arr_sample` (lazy expiry, see
+    docs/performance.md). The two accountings never mix — a Node owns
+    exactly one engine.
+    """
+
+    __slots__ = ("name", "bw", "active", "peak_active", "bytes_served",
+                 "arr_ivals")
 
     def __init__(self, name: str, bw: float) -> None:
         if bw <= 0:
@@ -29,6 +41,12 @@ class Resource:
         self.active = 0
         self.peak_active = 0
         self.bytes_served = 0
+        # Array-mode occupancy intervals as an ``(end, start)`` min-heap.
+        # A dispatched process may sample at times ahead of processes the
+        # engine has not dispatched yet, so expiry is bounded by the
+        # *epoch* (the dispatch heap's minimum virtual time — no future
+        # sample can precede it), not by the sample time itself.
+        self.arr_ivals: list[tuple[float, float]] = []
 
     def acquire(self) -> None:
         self.active += 1
@@ -43,6 +61,31 @@ class Resource:
     def effective_bw(self) -> float:
         """Share available to one more/current user."""
         return self.bw / max(1, self.active)
+
+    # -- array-mode interval accounting ---------------------------------
+
+    def arr_book(self, start: float, end: float) -> None:
+        """Deposit one transfer's occupancy window."""
+        heapq.heappush(self.arr_ivals, (end, start))
+
+    def arr_sample(self, t: float, epoch: float) -> int:
+        """Transfers occupying this resource at time ``t``.
+
+        ``epoch`` is the array engine's safe-expiry horizon: intervals
+        ending at or before it can never be seen by a later sample and
+        are dropped; the survivors (few — the set of in-flight transfers)
+        are scanned for overlap with ``t``.
+        """
+        ivals = self.arr_ivals
+        while ivals and ivals[0][0] <= epoch:
+            heapq.heappop(ivals)
+        n = 0
+        for end, start in ivals:
+            if start <= t < end:
+                n += 1
+        if n > self.peak_active:
+            self.peak_active = n
+        return n
 
     def __repr__(self) -> str:
         return f"<Resource {self.name} bw={self.bw:.2e} active={self.active}>"
@@ -78,6 +121,22 @@ class ResourcePool:
         # Number of in-flight kernel-assisted (CMA/KNEM) operations; drives
         # the kernel-lock contention term of [28].
         self.kernel_ops = 0
+        # Array-mode equivalent: kernel-mode occupancy intervals, sampled
+        # like Resource.arr_sample (the counter above stays untouched).
+        self._kernel_ivals: list[tuple[float, float]] = []
+
+    def arr_kernel_book(self, start: float, end: float) -> None:
+        heapq.heappush(self._kernel_ivals, (end, start))
+
+    def arr_kernel_sample(self, t: float, epoch: float) -> int:
+        ivals = self._kernel_ivals
+        while ivals and ivals[0][0] <= epoch:
+            heapq.heappop(ivals)
+        n = 0
+        for end, start in ivals:
+            if start <= t < end:
+                n += 1
+        return n
 
     def all_resources(self) -> list[Resource]:
         out: list[Resource] = []
@@ -92,3 +151,5 @@ class ResourcePool:
         for res in self.all_resources():
             res.peak_active = 0
             res.bytes_served = 0
+            res.arr_ivals.clear()
+        self._kernel_ivals.clear()

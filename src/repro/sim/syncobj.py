@@ -36,7 +36,7 @@ class Line:
     _ids = itertools.count()
 
     __slots__ = ("id", "owner_core", "next_free", "holders", "shared_holders",
-                 "pending_rmw")
+                 "pending_rmw", "rmw_ends")
 
     def __init__(self, owner_core: int) -> None:
         self.id = next(Line._ids)
@@ -51,6 +51,10 @@ class Line:
         # Concurrent atomic RMWs targeting this line: ownership ping-pong
         # interference grows with the number of contenders.
         self.pending_rmw = 0
+        # Array-mode substitute for ``pending_rmw``: end times of
+        # in-flight RMW intervals, expired lazily (None until the array
+        # engine first touches the line).
+        self.rmw_ends: list[float] | None = None
 
     def on_write(self, core: int) -> None:
         """Writer invalidates everyone else and becomes the home."""
@@ -88,7 +92,7 @@ class Flag:
     kind = "flag"
 
     __slots__ = ("id", "name", "owner_core", "line", "value", "waiters",
-                 "wait_key")
+                 "wait_key", "hist")
 
     def __init__(self, name: str, owner_core: int, line: Line | None = None):
         self.id = next(Flag._ids)
@@ -99,6 +103,11 @@ class Flag:
         # Blocked readers: (process, threshold, cmp).
         self.waiters: list[tuple["SimProcess", int, str]] = []
         self.wait_key = "flag " + wait_group(name)
+        # Array-mode set history: ``[(time, value), ...]`` in set order.
+        # The event engine never touches it; the array engine uses it to
+        # resolve *when* a wait's threshold became true, which may be far
+        # in a fast process's past (docs/performance.md).
+        self.hist: list[tuple[float, int]] | None = None
 
     def satisfied(self, threshold: int, cmp: str) -> bool:
         return _compare(self.value, threshold, cmp)
@@ -109,6 +118,7 @@ class Flag:
                 f"reset of flag {self.name!r} with blocked waiters"
             )
         self.value = value
+        self.hist = None
 
     def __repr__(self) -> str:
         return f"<Flag {self.name!r} ={self.value} owner=core{self.owner_core}>"
@@ -120,7 +130,7 @@ class Atomic:
     _ids = itertools.count()
     kind = "atomic"
 
-    __slots__ = ("id", "name", "line", "value", "waiters", "wait_key")
+    __slots__ = ("id", "name", "line", "value", "waiters", "wait_key", "hist")
 
     def __init__(self, name: str, home_core: int, line: Line | None = None):
         self.id = next(Atomic._ids)
@@ -129,6 +139,8 @@ class Atomic:
         self.value = 0
         self.waiters: list[tuple["SimProcess", int, str]] = []
         self.wait_key = "atomic " + wait_group(name)
+        # Array-mode update history, mirroring Flag.hist.
+        self.hist: list[tuple[float, int]] | None = None
 
     def satisfied(self, threshold: int, cmp: str) -> bool:
         return _compare(self.value, threshold, cmp)
@@ -139,6 +151,7 @@ class Atomic:
                 f"reset of atomic {self.name!r} with blocked waiters"
             )
         self.value = value
+        self.hist = None
 
     def __repr__(self) -> str:
         return f"<Atomic {self.name!r} ={self.value}>"

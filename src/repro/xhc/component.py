@@ -111,6 +111,15 @@ class Xhc(CollComponent):
         self._pub_ctb: dict[int, object] = {}
         self._pub_res: dict[int, object] = {}
         self._scratch: dict[int, object] = {}
+        # Per-op-shape memos (all keyed on immutable shape parameters;
+        # hierarchies and their groups live as long as the component, so
+        # id() keys are stable): reduction partitions, per-rank
+        # assignments, and the per-op ledger increment, which is a pure
+        # function of (hierarchy, nbytes, dtype, fan_out) but was being
+        # rederived — partitions included — on every operation.
+        self._part_memo: dict = {}
+        self._assign_memo: dict = {}
+        self._ledger_delta_memo: dict = {}
 
     def _hierarchy(self, comm, root: int) -> Hierarchy:
         h = self._hier_cache.get(root)
@@ -173,6 +182,14 @@ class Xhc(CollComponent):
         if flags:
             return P.SetFlagGroup(flags, value)
         return None
+
+    def _avail_flags(self, comm, hier: Hierarchy, me: int) -> tuple:
+        """The flags :meth:`_avail_prim` would write — lowered chunk runs
+        stamp them directly instead of yielding per-chunk sets."""
+        if self.cfg.flag_layout == "single":
+            return (self.avail[me],)
+        return tuple(self._multi_flag(comm, me, child)
+                     for child, _level in hier.children(me))
 
     def _set_avail(self, comm, hier: Hierarchy, me: int,
                    value: int) -> Iterator:
@@ -290,6 +307,36 @@ class Xhc(CollComponent):
         got = 0
         with comm.node.obs.span("xhc.fanout", rank=me, parent=parent,
                                 level=level, nbytes=nbytes, chunk=chunk):
+            if (not small and comm.node.engine.lower_chunk_runs
+                    and ctx.smsc.enabled):
+                # Lowered form (array engine): the wait/copy/announce loop
+                # is zero-decision, so after the first chunk's wait (which
+                # licenses reading the parent's publication) the whole
+                # stream goes down as one ChunkRun. The attach that the
+                # first per-chunk pull would have paid happens via
+                # map_peer up front.
+                n0 = min(chunk, nbytes)
+                yield P.WaitFlag(wait_flag, avail_base_p + n0)
+                pview = self._pub_fan[parent]
+                if ctx.smsc.chunk_run_lowerable(pview):
+                    yield from ctx.smsc.map_peer(pview)
+                    nchunks = -(-nbytes // chunk)
+                    const = ctx.smsc.chunk_run_account(pview, nchunks,
+                                                       nbytes)
+                    if self.cfg.flag_layout == "single":
+                        avail_flags = (my_avail,) if has_children else ()
+                    else:
+                        avail_flags = my_flags
+                    sets = (((avail_flags, avail_base_me),)
+                            if avail_flags else ())
+                    yield P.ChunkRun(
+                        start=0, stop=nbytes, chunk=chunk,
+                        waits=((wait_flag, avail_base_p, 0, nbytes),),
+                        sets=sets, copy=(pview, dst_view),
+                        const_cost=const)
+                    return
+                # Not lowerable (e.g. regcache off): fall through to the
+                # per-chunk loop; re-waiting chunk 0 is a satisfied wait.
             while got < nbytes:
                 n = min(chunk, nbytes - got)
                 yield P.WaitFlag(wait_flag, avail_base_p + got + n)
@@ -463,18 +510,31 @@ class Xhc(CollComponent):
 
     # -- allreduce helper roles ------------------------------------------
 
+    def _ranges(self, nbytes: int, nworkers: int,
+                itemsize: int) -> list[tuple[int, int]]:
+        """Memoized reduction partition (hot: once per op per group)."""
+        key = (nbytes, nworkers, itemsize)
+        ranges = self._part_memo.get(key)
+        if ranges is None:
+            ranges = partition(nbytes, nworkers,
+                               minimum=self.cfg.reduce_min,
+                               align=itemsize)
+            self._part_memo[key] = ranges
+        return ranges
+
     def _assignment(self, group: Group, rank: int, nbytes: int,
                     dtype) -> tuple[int, int] | None:
         """The (offset, end) byte range ``rank`` reduces within its group."""
-        workers = group.nonleaders
-        ranges = partition(nbytes, len(workers),
-                           minimum=self.cfg.reduce_min,
-                           align=dtype.itemsize)
-        idx = workers.index(rank)
-        if idx >= len(ranges):
-            return None
-        off, n = ranges[idx]
-        return off, off + n
+        key = (id(group), nbytes, dtype.itemsize)
+        table = self._assign_memo.get(key)
+        if table is None:
+            workers = group.nonleaders
+            ranges = self._ranges(nbytes, len(workers), dtype.itemsize)
+            table = {}
+            for idx, (off, n) in enumerate(ranges):
+                table[workers[idx]] = (off, off + n)
+            self._assign_memo[key] = table
+        return table.get(rank)
 
     def _contrib(self, comm, rank: int, level: int, nbytes: int, small: bool,
                  parity: int):
@@ -511,6 +571,39 @@ class Xhc(CollComponent):
         pos = lo
         with comm.node.obs.span("xhc.reduce.work", rank=me, level=level,
                                 lo=lo, hi=hi):
+            if (not small and comm.node.engine.lower_chunk_runs
+                    and ctx.smsc.can_reduce):
+                # Lowered form: wait for the first chunk (so every peer's
+                # publication exists), resolve the operand views, then
+                # reduce the whole assigned range as one ChunkRun.
+                n0 = min(chunk, hi - lo)
+                for p in peers:
+                    yield P.WaitFlag(self.ready[p][level],
+                                     ready_bases[p] + lo + n0)
+                src_bases = [
+                    self._contrib(comm, p, level, nbytes, small, parity)
+                    for p in peers
+                ]
+                dst_base = self._result(comm, group.leader, nbytes,
+                                        small, parity)
+                if ctx.smsc.reduce_run_lowerable(src_bases, dst_base):
+                    for v in src_bases:
+                        yield from ctx.smsc.map_peer(v)
+                    yield from ctx.smsc.map_peer(dst_base)
+                    nchunks = -(-(hi - lo) // chunk)
+                    const = ctx.smsc.reduce_run_account(
+                        src_bases, dst_base, nchunks)
+                    yield P.ChunkRun(
+                        start=lo, stop=hi, chunk=chunk,
+                        waits=tuple((self.ready[p][level], ready_bases[p],
+                                     0, hi) for p in peers),
+                        sets=(((done_flag,), done_base),),
+                        reduce=(tuple(src_bases), dst_base, ufunc,
+                                np_dtype),
+                        const_cost=const)
+                    return
+                # Fall through: the loop re-waits chunk 0 (satisfied) and
+                # skips the operand resolution (src_bases already set).
             while pos < hi:
                 n = min(chunk, hi - pos)
                 for p in peers:
@@ -557,9 +650,7 @@ class Xhc(CollComponent):
         is_top = (me == hier.root and group is hier.levels[-1][0])
         chunk = self.cfg.chunk_for_level(min(next_level, hier.n_levels - 1))
         workers = group.nonleaders
-        ranges = partition(nbytes, len(workers) or 1,
-                           minimum=self.cfg.reduce_min,
-                           align=dtype.itemsize)
+        ranges = self._ranges(nbytes, len(workers) or 1, dtype.itemsize)
         assigned = list(zip(workers, ranges))
         done_bases = {w: led["done"][w] for w in workers}
         ready_base_own = led["ready"][me][level]
@@ -568,6 +659,40 @@ class Xhc(CollComponent):
         c = 0
         with comm.node.obs.span("xhc.reduce.monitor", rank=me,
                                 level=level, top=is_top):
+            if not small and comm.node.engine.lower_chunk_runs:
+                # Lowered form: the poll-and-propagate loop is pure
+                # clamped waits plus per-chunk announcements — exactly
+                # the shape ChunkRun's (flag, base, lo, hi) specs encode.
+                if workers:
+                    waits = tuple((self.done[w], done_bases[w], off,
+                                   off + n)
+                                  for w, (off, n) in assigned)
+                    body = None
+                else:
+                    waits = ((self.ready[me][level], ready_base_own,
+                              0, nbytes),)
+                    body = None
+                    if level == 0:
+                        body = (self._contrib(comm, me, 0, nbytes, small,
+                                              parity),
+                                self._result(comm, me, nbytes, small,
+                                             parity))
+                sets = []
+                if is_top:
+                    if fan_out:
+                        avail_flags = self._avail_flags(comm, hier, me)
+                        if avail_flags:
+                            sets.append((avail_flags, avail_base))
+                        if self.cfg.flag_layout != "single":
+                            sets.append(((self.avail[me],), avail_base))
+                    else:
+                        sets.append(((self.avail[me],), avail_base))
+                else:
+                    sets.append(((self.ready[me][next_level],),
+                                 ready_base_next))
+                yield P.ChunkRun(start=0, stop=nbytes, chunk=chunk,
+                                 waits=waits, sets=tuple(sets), copy=body)
+                return
             while c < nbytes:
                 c_end = min(c + chunk, nbytes)
                 for w, (off, n) in assigned:
@@ -602,22 +727,50 @@ class Xhc(CollComponent):
 
     def _update_reduce_ledger(self, comm, hier: Hierarchy, me: int, led: dict,
                               nbytes: int, dtype, fan_out: bool) -> None:
-        for q in range(comm.size):
-            led["ready"][q][0] += nbytes
-            group = hier.member_group[q]
-            if group is not None:
-                rng = self._assignment(group, q, nbytes, dtype)
-                if rng is not None:
-                    led["done"][q] += rng[1] - rng[0]
-                led["ack"][q] += 1
-            for g in hier.led_groups[q]:
-                is_top = (q == hier.root and g is hier.levels[-1][0])
-                if is_top:
-                    led["avail"][q] += nbytes
-                else:
-                    led["ready"][q][g.level + 1] += nbytes
-            if fan_out and hier.children(q) and q != hier.root:
-                led["avail"][q] += nbytes
+        # The increment is identical for every op of the same shape;
+        # compute it once and replay the sparse delta afterwards.
+        key = (id(hier), nbytes, dtype.itemsize, fan_out)
+        delta = self._ledger_delta_memo.get(key)
+        if delta is None:
+            size = comm.size
+            done = [0] * size
+            avail = [0] * size
+            ack = [0] * size
+            ready: list[tuple[int, int, int]] = []
+            for q in range(size):
+                ready.append((q, 0, nbytes))
+                group = hier.member_group[q]
+                if group is not None:
+                    rng = self._assignment(group, q, nbytes, dtype)
+                    if rng is not None:
+                        done[q] += rng[1] - rng[0]
+                    ack[q] += 1
+                for g in hier.led_groups[q]:
+                    is_top = (q == hier.root and g is hier.levels[-1][0])
+                    if is_top:
+                        avail[q] += nbytes
+                    else:
+                        ready.append((q, g.level + 1, nbytes))
+                if fan_out and hier.children(q) and q != hier.root:
+                    avail[q] += nbytes
+            delta = ([(q, v) for q, v in enumerate(done) if v],
+                     [(q, v) for q, v in enumerate(avail) if v],
+                     [(q, v) for q, v in enumerate(ack) if v],
+                     ready)
+            self._ledger_delta_memo[key] = delta
+        d_done, d_avail, d_ack, d_ready = delta
+        led_done = led["done"]
+        for q, v in d_done:
+            led_done[q] += v
+        led_avail = led["avail"]
+        for q, v in d_avail:
+            led_avail[q] += v
+        led_ack = led["ack"]
+        for q, v in d_ack:
+            led_ack[q] += v
+        led_ready = led["ready"]
+        for q, lvl, v in d_ready:
+            led_ready[q][lvl] += v
 
     # -- gather / scatter / allgather (shared-address-space extensions) ----
     #

@@ -16,6 +16,7 @@ this is how ``numa+socket`` yields 3 levels on the dual-socket systems but
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from ..errors import TopologyError
 from ..topology.objects import ObjKind, Topology
@@ -30,8 +31,10 @@ class Group:
     members: list[int]          # comm ranks, sorted
     leader: int
 
-    @property
+    @cached_property
     def nonleaders(self) -> list[int]:
+        # Membership never changes after construction; this is on the
+        # per-chunk monitor path, so compute it once.
         return [m for m in self.members if m != self.leader]
 
     def __repr__(self) -> str:

@@ -321,4 +321,4 @@ def test_sim_results_identical_with_and_without_telemetry():
     assert timed == baseline
     assert "cache-lookup" in calls
     assert "worker-execute" in calls
-    assert SIM_VERSION == 2
+    assert SIM_VERSION == 3
